@@ -1,0 +1,67 @@
+//! Criterion microbenchmarks for the hot algebraic paths: finite-field
+//! arithmetic, cross-product routing, and ER_q construction.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pf_galois::{Gf, V3};
+use polarfly::routing::MinRouteTable;
+use polarfly::PolarFly;
+
+fn field_ops(c: &mut Criterion) {
+    let f = Gf::new(127).unwrap();
+    c.bench_function("gf127_mul_inv", |b| {
+        b.iter(|| {
+            let mut acc = 1u32;
+            for a in 1..127u32 {
+                acc = f.mul(acc, black_box(a));
+                acc = f.add(f.inv(acc.max(1)), a);
+            }
+            acc
+        })
+    });
+    let f9 = Gf::new(9).unwrap();
+    c.bench_function("gf9_extension_field_mul", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for a in 0..9u32 {
+                for x in 0..9u32 {
+                    acc ^= f9.mul(black_box(a), black_box(x));
+                }
+            }
+            acc
+        })
+    });
+}
+
+fn routing_algebra(c: &mut Criterion) {
+    let pf = PolarFly::new(31).unwrap();
+    let f = pf.field();
+    let v = V3([1, 7, 12]);
+    let w = V3([0, 1, 30]);
+    c.bench_function("cross_product_route_q31", |b| {
+        b.iter(|| black_box(v.cross(black_box(&w), f)).normalize(f))
+    });
+    c.bench_function("algebraic_next_hop_q31", |b| {
+        let n = pf.router_count() as u32;
+        let mut s = 1u32;
+        b.iter(|| {
+            s = (s * 73 + 11) % n;
+            let d = (s * 31 + 7) % n;
+            if s != d {
+                black_box(polarfly::routing::next_hop_minimal(&pf, s, d));
+            }
+        })
+    });
+}
+
+fn construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("construction");
+    g.sample_size(10);
+    g.bench_function("er_q31_build", |b| b.iter(|| PolarFly::new(31).unwrap().router_count()));
+    g.bench_function("er_q127_build", |b| b.iter(|| PolarFly::new(127).unwrap().router_count()));
+    let pf = PolarFly::new(31).unwrap();
+    g.bench_function("min_route_table_q31", |b| b.iter(|| MinRouteTable::build(&pf)));
+    g.finish();
+}
+
+criterion_group!(benches, field_ops, routing_algebra, construction);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion benchmarks for the graph substrate: BFS/APSP, triangles,
+//! bisection, and random-regular generation at evaluation scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pf_graph::{bfs, partition, random_regular, triangles, DistanceMatrix};
+use polarfly::PolarFly;
+
+fn graph_benches(c: &mut Criterion) {
+    let pf = PolarFly::new(31).unwrap();
+    let g = pf.graph();
+
+    c.bench_function("bfs_single_source_q31", |b| b.iter(|| bfs::bfs_distances(g, 0)));
+
+    let mut grp = c.benchmark_group("heavy");
+    grp.sample_size(10);
+    grp.bench_function("apsp_q31_993_routers", |b| b.iter(|| DistanceMatrix::build(g)));
+    grp.bench_function("triangle_count_q31", |b| b.iter(|| triangles::count(g)));
+    grp.bench_function("bisection_q19", |b| {
+        let pf19 = PolarFly::new(19).unwrap();
+        b.iter(|| partition::bisect(pf19.graph(), 2, 1).cut_edges)
+    });
+    grp.bench_function("jellyfish_gen_993x32", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            random_regular::random_regular(993, 32, seed).edge_count()
+        })
+    });
+    grp.finish();
+}
+
+criterion_group!(benches, graph_benches);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion benchmarks for the cycle engine: simulated cycles per second
+//! at low and near-saturation load on a mid-size PolarFly.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pf_sim::engine::{Engine, SimConfig};
+use pf_sim::tables::RouteTables;
+use pf_sim::traffic::{resolve, TrafficPattern};
+use pf_sim::Routing;
+use pf_topo::{PolarFlyTopo, Topology};
+
+fn sim_benches(c: &mut Criterion) {
+    let topo = PolarFlyTopo::balanced(13).unwrap();
+    let tables = RouteTables::build(topo.graph(), 1);
+    let dests = resolve(TrafficPattern::Uniform, topo.graph(), &topo.host_routers(), 1);
+
+    let mut grp = c.benchmark_group("engine");
+    grp.sample_size(10);
+    for &load in &[0.2, 0.7] {
+        grp.bench_function(format!("pf13_500cycles_load{load}"), |b| {
+            b.iter(|| {
+                let cfg = SimConfig { warmup: 0, measure: 500, drain_max: 0, ..SimConfig::default() };
+                let mut e = Engine::new(&topo, &tables, &dests, Routing::UgalPf, load, cfg);
+                for _ in 0..500 {
+                    e.step();
+                }
+                e.flits_in_network()
+            })
+        });
+    }
+    grp.finish();
+}
+
+criterion_group!(benches, sim_benches);
+criterion_main!(benches);

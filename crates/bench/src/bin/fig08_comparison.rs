@@ -1,0 +1,50 @@
+//! Figure 8: latency vs offered load for PolarFly against Slim Fly,
+//! Dragonfly (DF1/DF2), Jellyfish, and fat tree, under four scenarios:
+//!
+//! * `uniform-min`      — uniform traffic, minimal routing (FT uses NCA)
+//! * `uniform-adaptive` — uniform traffic, UGAL / UGAL-PF / NCA
+//! * `randperm`         — random router permutation, adaptive routing
+//! * `tornado`          — tornado permutation, adaptive routing
+//!
+//! Run a single panel by passing its name as the first argument.
+
+use pf_bench::{comparison_topologies, load_points, print_curve_rows, sim_config};
+use pf_sim::sweep::load_curve;
+use pf_sim::{Routing, TrafficPattern};
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let panels: Vec<(&str, TrafficPattern, bool)> = vec![
+        ("uniform-min", TrafficPattern::Uniform, false),
+        ("uniform-adaptive", TrafficPattern::Uniform, true),
+        ("randperm", TrafficPattern::RandomPermutation, true),
+        ("tornado", TrafficPattern::Tornado, true),
+    ];
+    let topos = comparison_topologies();
+    let loads = load_points();
+    let cfg = sim_config();
+
+    for (name, pattern, adaptive) in panels {
+        if let Some(ref a) = arg {
+            if a != name {
+                continue;
+            }
+        }
+        println!("=== Figure 8 panel: {name} ===\n");
+        for (i, topo) in topos.iter().enumerate() {
+            let is_ft = !topo.is_direct();
+            // FT always routes NCA; direct networks use MIN or their
+            // adaptive algorithm (UGAL; plus UGAL-PF for PolarFly).
+            let routings: Vec<Routing> = match (is_ft, adaptive, i) {
+                (true, _, _) => vec![Routing::MinAdaptive],
+                (false, false, _) => vec![Routing::Min],
+                (false, true, 0) => vec![Routing::Ugal, Routing::UgalPf],
+                (false, true, _) => vec![Routing::Ugal],
+            };
+            for routing in routings {
+                let curve = load_curve(topo.as_ref(), routing, pattern, &loads, &cfg);
+                print_curve_rows(&curve);
+            }
+        }
+    }
+}

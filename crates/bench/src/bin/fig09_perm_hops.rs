@@ -1,0 +1,25 @@
+//! Figure 9: PolarFly under the Perm2Hop and Perm1Hop adversarial
+//! permutations with MIN, UGAL, and UGAL-PF routing.
+
+use pf_bench::{load_points, print_curve_rows, sim_config};
+use pf_sim::sweep::load_curve;
+use pf_sim::{Routing, TrafficPattern};
+use pf_topo::PolarFlyTopo;
+
+fn main() {
+    let topo = if pf_bench::full_scale() {
+        PolarFlyTopo::new(31, 16).unwrap()
+    } else {
+        PolarFlyTopo::new(13, 7).unwrap()
+    };
+    let cfg = sim_config();
+    // Permutations cap near 1/p with MIN; sweep the low-load range densely.
+    let loads: Vec<f64> = load_points().iter().map(|l| l * 0.7).collect();
+    for pattern in [TrafficPattern::Perm2Hop, TrafficPattern::Perm1Hop] {
+        println!("=== Figure 9: {} ===\n", pattern.label());
+        for routing in [Routing::Min, Routing::Ugal, Routing::UgalPf] {
+            let curve = load_curve(&topo, routing, pattern, &loads, &cfg);
+            print_curve_rows(&curve);
+        }
+    }
+}

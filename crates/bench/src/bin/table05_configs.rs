@@ -1,0 +1,30 @@
+//! Table V: the simulated configurations — constructed and verified.
+
+use pf_bench::comparison_topologies;
+use pf_graph::bfs;
+
+fn main() {
+    let full = pf_bench::full_scale();
+    println!(
+        "Table V — simulated configurations ({}; paper scale: PF 993/32, SF 1058/35,\nDF1 876/17, DF2 978/32, JF 993/32, FT 972/36)\n",
+        if full { "PF_FULL=1: paper scale" } else { "reduced scale; set PF_FULL=1 for paper scale" }
+    );
+    println!(
+        "{:<18} {:>9} {:>12} {:>10} {:>10} {:>9}",
+        "Network", "routers", "net radix", "endpoints", "diameter", "ASPL"
+    );
+    for t in comparison_topologies() {
+        let g = t.graph();
+        let dm = pf_graph::DistanceMatrix::build(g);
+        let _ = bfs::diameter(g);
+        println!(
+            "{:<18} {:>9} {:>12} {:>10} {:>10} {:>9.3}",
+            t.name(),
+            t.router_count(),
+            g.max_degree(),
+            t.total_endpoints(),
+            dm.diameter().map(|d| d.to_string()).unwrap_or_else(|| "inf".into()),
+            dm.average_shortest_path()
+        );
+    }
+}

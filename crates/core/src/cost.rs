@@ -1,0 +1,165 @@
+//! Network cost under iso-injection-bandwidth constraints (paper §X, Fig. 15).
+//!
+//! The paper's cost indicator is the total number of co-packaged optical IO
+//! (OIO) ports: every port needs an OIO module, laser, connector, and
+//! cabling. Configurations are normalized to 1 024 nodes with equal
+//! injection bandwidth, and the cost is divided by the *achievable*
+//! throughput under the traffic scenario (uniform or permutation) because a
+//! topology that saturates earlier needs proportionally more provisioning
+//! for the same delivered bandwidth:
+//!
+//! ```text
+//! relative_cost(X) = (OIO(X) / OIO(PolarFly)) · (perf(PF) / perf(X))
+//! ```
+//!
+//! OIO counts per the paper: PolarFly and Slim Fly use 4 modules per node
+//! (32 links); Dragonfly 6 per node (48 links); the fat tree uses
+//! 4-module switches (32 links) that can attach only two 16-link nodes
+//! each, forcing a 10-level construction with 512 switches per level and
+//! 256 in the top level, plus 2 modules on each of the 1 024 nodes.
+
+/// Traffic scenario for performance normalization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrafficScenario {
+    /// Uniform random traffic (most networks saturate near 90%).
+    Uniform,
+    /// Adversarial permutation traffic (direct networks misroute, ~50%).
+    Permutation,
+}
+
+/// Cost inputs for one topology.
+#[derive(Debug, Clone)]
+pub struct TopologyCost {
+    /// Topology name.
+    pub name: &'static str,
+    /// OIO modules co-packaged on every compute node.
+    pub oio_per_node: f64,
+    /// OIO modules on dedicated switches, amortized per compute node
+    /// (zero for direct topologies).
+    pub switch_oio_per_node: f64,
+    /// Saturation throughput (fraction of injection bandwidth) under
+    /// uniform traffic.
+    pub uniform_saturation: f64,
+    /// Saturation throughput under (adversarial) permutation traffic.
+    pub permutation_saturation: f64,
+}
+
+impl TopologyCost {
+    fn oio_total(&self) -> f64 {
+        self.oio_per_node + self.switch_oio_per_node
+    }
+
+    fn performance(&self, scenario: TrafficScenario) -> f64 {
+        match scenario {
+            TrafficScenario::Uniform => self.uniform_saturation,
+            TrafficScenario::Permutation => self.permutation_saturation,
+        }
+    }
+}
+
+/// The §X configuration with the paper's stated OIO provisioning and
+/// saturation levels ("most networks reach comparable saturation points
+/// with uniform traffic, typically around 90% … direct topologies must
+/// resort to some type of misrouting, bringing their saturation points
+/// down to approximately 50%"; per-topology values refined from Fig. 8).
+/// Saturations can be overridden with measured values from `pf-sim`.
+pub fn paper_configuration() -> Vec<TopologyCost> {
+    let fattree_switches = 9.0 * 512.0 + 256.0; // 10 levels: 512×9 + 256 top
+    vec![
+        TopologyCost {
+            name: "PolarFly",
+            oio_per_node: 4.0,
+            switch_oio_per_node: 0.0,
+            uniform_saturation: 0.92,
+            permutation_saturation: 0.50,
+        },
+        TopologyCost {
+            name: "Slim Fly",
+            oio_per_node: 4.0,
+            switch_oio_per_node: 0.0,
+            uniform_saturation: 0.74,
+            permutation_saturation: 0.41,
+        },
+        TopologyCost {
+            name: "Dragonfly",
+            oio_per_node: 6.0,
+            switch_oio_per_node: 0.0,
+            uniform_saturation: 0.76,
+            permutation_saturation: 0.33,
+        },
+        TopologyCost {
+            name: "Fat-tree",
+            oio_per_node: 2.0,
+            switch_oio_per_node: fattree_switches * 4.0 / 1024.0,
+            uniform_saturation: 0.93,
+            permutation_saturation: 0.98,
+        },
+    ]
+}
+
+/// One Fig. 15 bar.
+#[derive(Debug, Clone)]
+pub struct CostBar {
+    /// Topology name.
+    pub name: &'static str,
+    /// Cost normalized to the first (PolarFly) entry.
+    pub relative_cost: f64,
+}
+
+/// Computes Fig. 15 (cost relative to the first entry, conventionally
+/// PolarFly) for the given scenario.
+pub fn relative_costs(config: &[TopologyCost], scenario: TrafficScenario) -> Vec<CostBar> {
+    assert!(!config.is_empty());
+    let base = &config[0];
+    let base_ratio = base.oio_total() / base.performance(scenario);
+    config
+        .iter()
+        .map(|t| CostBar {
+            name: t.name,
+            relative_cost: (t.oio_total() / t.performance(scenario)) / base_ratio,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn costs(scenario: TrafficScenario) -> Vec<f64> {
+        relative_costs(&paper_configuration(), scenario).iter().map(|b| b.relative_cost).collect()
+    }
+
+    #[test]
+    fn polarfly_is_baseline() {
+        for s in [TrafficScenario::Uniform, TrafficScenario::Permutation] {
+            assert!((costs(s)[0] - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn uniform_bars_near_paper_values() {
+        // Paper Fig. 15 (uniform): 1, 1.24, 1.81, 5.19.
+        let c = costs(TrafficScenario::Uniform);
+        assert!((c[1] - 1.24).abs() < 0.05, "Slim Fly {c:?}");
+        assert!((c[2] - 1.81).abs() < 0.05, "Dragonfly {c:?}");
+        assert!((c[3] - 5.19).abs() < 0.10, "Fat-tree {c:?}");
+    }
+
+    #[test]
+    fn permutation_bars_near_paper_values() {
+        // Paper Fig. 15 (permutation): 1, 1.21, 2.25, 2.68.
+        let c = costs(TrafficScenario::Permutation);
+        assert!((c[1] - 1.21).abs() < 0.05, "Slim Fly {c:?}");
+        assert!((c[2] - 2.25).abs() < 0.05, "Dragonfly {c:?}");
+        assert!((c[3] - 2.68).abs() < 0.10, "Fat-tree {c:?}");
+    }
+
+    #[test]
+    fn fat_tree_oio_budget_matches_section_x() {
+        let cfg = paper_configuration();
+        let ft = cfg.iter().find(|c| c.name == "Fat-tree").unwrap();
+        // 4864 switches × 4 OIO + 1024 nodes × 2 OIO = 21 504 modules.
+        let total = (ft.oio_per_node + ft.switch_oio_per_node) * 1024.0;
+        assert!((total - 21504.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,408 @@
+//! Construction of the Erdős–Rényi polarity graph `ER_q` (paper §IV).
+//!
+//! Vertices are the `q² + q + 1` left-normalized vectors of `F_q³` (the
+//! points of `PG(2, q)`); two vertices are adjacent iff their dot product
+//! vanishes. Rather than testing all `O(N²)` pairs, each vertex's
+//! neighborhood is generated directly: the neighbors of `v` are exactly the
+//! `q + 1` projective points on the line `v⊥` (the polarity image of `v`),
+//! enumerated from a basis of the 2-dimensional orthogonal complement —
+//! `O(N·q)` total work, which keeps even the radix-128 instance
+//! (`q = 127`, `N = 16 257`) instant.
+
+use pf_galois::{Gf, GfError, ProjectivePoints, V3};
+use pf_graph::{bfs, Csr, GraphBuilder};
+
+/// Classification of an `ER_q` vertex (paper §IV-F).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VertexClass {
+    /// Self-orthogonal ("quadric") vertex; `|W| = q + 1` for odd `q`.
+    Quadric,
+    /// Non-quadric adjacent to a quadric; `|V1| = q(q+1)/2` for odd `q`.
+    V1,
+    /// Non-quadric not adjacent to any quadric; `|V2| = q(q−1)/2`.
+    V2,
+}
+
+/// The PolarFly topology: `ER_q` together with its field, point indexing,
+/// and vertex classification.
+pub struct PolarFly {
+    q: u32,
+    field: Gf,
+    points: ProjectivePoints,
+    graph: Csr,
+    class: Vec<VertexClass>,
+    quadrics: Vec<u32>,
+}
+
+impl PolarFly {
+    /// Builds `ER_q` for a prime power `q`.
+    pub fn new(q: u64) -> Result<Self, GfError> {
+        let field = Gf::new(q)?;
+        let q32 = field.order();
+        let points = ProjectivePoints::new(q32);
+        let n = points.count();
+
+        let mut builder = GraphBuilder::new(n);
+        let mut is_quadric = vec![false; n];
+        #[allow(clippy::needless_range_loop)] // idx indexes both the flag array and the point set
+        for idx in 0..n {
+            let v = points.point(idx);
+            if v.is_quadric(&field) {
+                is_quadric[idx] = true;
+            }
+            for w in orthogonal_line(&v, &field) {
+                let widx = points.index(&w);
+                if widx != idx && widx > idx {
+                    builder.add_edge(idx as u32, widx as u32);
+                }
+            }
+        }
+        let graph = builder.build();
+
+        let mut class = vec![VertexClass::V2; n];
+        let mut quadrics = Vec::new();
+        for idx in 0..n {
+            if is_quadric[idx] {
+                class[idx] = VertexClass::Quadric;
+                quadrics.push(idx as u32);
+            }
+        }
+        for &quadric in &quadrics {
+            for &nb in graph.neighbors(quadric) {
+                if class[nb as usize] == VertexClass::V2 {
+                    class[nb as usize] = VertexClass::V1;
+                }
+            }
+        }
+
+        Ok(PolarFly { q: q32, field, points, graph, class, quadrics })
+    }
+
+    /// The field-order parameter `q`.
+    #[inline]
+    pub fn q(&self) -> u32 {
+        self.q
+    }
+
+    /// Number of routers, `N = q² + q + 1`.
+    #[inline]
+    pub fn router_count(&self) -> usize {
+        self.points.count()
+    }
+
+    /// Network degree (radix used for fabric links), `k = q + 1`.
+    #[inline]
+    pub fn degree(&self) -> u32 {
+        self.q + 1
+    }
+
+    /// The diameter of `ER_q` is 2 by construction (verified in tests).
+    #[inline]
+    pub fn diameter(&self) -> u32 {
+        2
+    }
+
+    /// The underlying undirected graph.
+    #[inline]
+    pub fn graph(&self) -> &Csr {
+        &self.graph
+    }
+
+    /// The finite field `F_q` the construction lives over.
+    #[inline]
+    pub fn field(&self) -> &Gf {
+        &self.field
+    }
+
+    /// The projective-point indexer (vertex id ↔ left-normalized vector).
+    #[inline]
+    pub fn points(&self) -> &ProjectivePoints {
+        &self.points
+    }
+
+    /// The left-normalized vector of router `v`.
+    #[inline]
+    pub fn vector(&self, v: u32) -> V3 {
+        self.points.point(v as usize)
+    }
+
+    /// The router index of a (not necessarily normalized) nonzero vector.
+    #[inline]
+    pub fn router_of(&self, v: &V3) -> Option<u32> {
+        self.points.index_of(v, &self.field).map(|i| i as u32)
+    }
+
+    /// Class of router `v` (quadric / V1 / V2).
+    #[inline]
+    pub fn class(&self, v: u32) -> VertexClass {
+        self.class[v as usize]
+    }
+
+    /// `true` iff `v` is a quadric (self-orthogonal) router.
+    #[inline]
+    pub fn is_quadric(&self, v: u32) -> bool {
+        self.class[v as usize] == VertexClass::Quadric
+    }
+
+    /// All quadric routers, ascending. `|W| = q + 1`.
+    #[inline]
+    pub fn quadrics(&self) -> &[u32] {
+        &self.quadrics
+    }
+
+    /// Routers in the given class.
+    pub fn routers_in_class(&self, c: VertexClass) -> Vec<u32> {
+        (0..self.router_count() as u32).filter(|&v| self.class(v) == c).collect()
+    }
+
+    /// Fraction of the diameter-2 Moore bound (`1 + k²`) this instance
+    /// achieves; approaches 1 as `q → ∞` (Fig. 2).
+    pub fn moore_fraction(&self) -> f64 {
+        let k = f64::from(self.degree());
+        self.router_count() as f64 / (1.0 + k * k)
+    }
+
+    /// The unique intermediate router on the 2-hop path between `s` and
+    /// `d` (paper §IV-D: the normalized cross product). For adjacent
+    /// non-quadric pairs this is the apex of their unique triangle; for a
+    /// pair containing a quadric adjacent to the other endpoint, the cross
+    /// product collapses onto the quadric itself and `None` is returned
+    /// (the "2-hop path" would use the quadric's self-loop).
+    pub fn intermediate(&self, s: u32, d: u32) -> Option<u32> {
+        if s == d {
+            return None;
+        }
+        let vs = self.vector(s);
+        let vd = self.vector(d);
+        let x = vs.cross(&vd, &self.field);
+        let mid = self.router_of(&x)?;
+        (mid != s && mid != d).then_some(mid)
+    }
+
+    /// Minimal route from `s` to `d` as a router sequence (1 hop when
+    /// adjacent, otherwise the unique 2-hop path).
+    pub fn minimal_route(&self, s: u32, d: u32) -> Vec<u32> {
+        if s == d {
+            return vec![s];
+        }
+        if self.graph.has_edge(s, d) {
+            return vec![s, d];
+        }
+        let mid = self
+            .intermediate(s, d)
+            .expect("non-adjacent ER_q routers always have a 2-hop path");
+        vec![s, mid, d]
+    }
+
+    /// Measured diameter (BFS) — used by tests; the structural answer is 2.
+    pub fn measured_diameter(&self) -> Option<u32> {
+        bfs::diameter(&self.graph)
+    }
+}
+
+/// Enumerates the `q + 1` projective points on the line `v⊥ = {x : v·x = 0}`
+/// — the neighborhood of `v` in `ER_q`. Re-exported from
+/// [`pf_galois::line_points`], where the basis construction lives.
+pub fn orthogonal_line(v: &V3, f: &Gf) -> Vec<V3> {
+    pf_galois::line_points(v, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMALL_Q: [u64; 8] = [3, 4, 5, 7, 8, 9, 11, 13];
+
+    #[test]
+    fn orders_and_degrees() {
+        for q in SMALL_Q {
+            let pf = PolarFly::new(q).unwrap();
+            let n = (q * q + q + 1) as usize;
+            assert_eq!(pf.router_count(), n);
+            assert_eq!(pf.graph().vertex_count(), n);
+            // Degrees: quadrics have degree q (their self-loop is not an
+            // edge), non-quadrics q+1.
+            for v in 0..n as u32 {
+                let expect = if pf.is_quadric(v) { q as usize } else { (q + 1) as usize };
+                assert_eq!(pf.graph().degree(v), expect, "q={q} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn diameter_is_two() {
+        for q in SMALL_Q {
+            let pf = PolarFly::new(q).unwrap();
+            assert_eq!(pf.measured_diameter(), Some(2), "q={q}");
+        }
+    }
+
+    #[test]
+    fn adjacency_is_orthogonality() {
+        for q in [3u64, 4, 5, 7, 9] {
+            let pf = PolarFly::new(q).unwrap();
+            let n = pf.router_count();
+            for u in 0..n as u32 {
+                for v in (u + 1)..n as u32 {
+                    let orth = pf.vector(u).orthogonal(&pf.vector(v), pf.field());
+                    assert_eq!(pf.graph().has_edge(u, v), orth, "q={q} {u}-{v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn class_sizes_match_section_iv_f() {
+        // |W| = q+1, |V1| = q(q+1)/2, |V2| = q(q−1)/2 for odd q.
+        for q in [3u64, 5, 7, 9, 11, 13] {
+            let pf = PolarFly::new(q).unwrap();
+            let w = pf.quadrics().len() as u64;
+            let v1 = pf.routers_in_class(VertexClass::V1).len() as u64;
+            let v2 = pf.routers_in_class(VertexClass::V2).len() as u64;
+            assert_eq!(w, q + 1, "q={q}");
+            assert_eq!(v1, q * (q + 1) / 2, "q={q}");
+            assert_eq!(v2, q * (q - 1) / 2, "q={q}");
+        }
+    }
+
+    #[test]
+    fn property_1_adjacency_counts() {
+        // Paper Property 1 (odd prime powers).
+        for q in [3u64, 5, 7, 9, 11, 13] {
+            let pf = PolarFly::new(q).unwrap();
+            let count_class = |v: u32, c: VertexClass| {
+                pf.graph().neighbors(v).iter().filter(|&&w| pf.class(w) == c).count() as u64
+            };
+            for v in 0..pf.router_count() as u32 {
+                match pf.class(v) {
+                    VertexClass::Quadric => {
+                        // 1.1: no quadric–quadric edges; q neighbors in V1.
+                        assert_eq!(count_class(v, VertexClass::Quadric), 0);
+                        assert_eq!(count_class(v, VertexClass::V1), q);
+                        assert_eq!(count_class(v, VertexClass::V2), 0);
+                    }
+                    VertexClass::V1 => {
+                        // 1.2: exactly 2 quadrics, (q−1)/2 in each of V1, V2.
+                        assert_eq!(count_class(v, VertexClass::Quadric), 2);
+                        assert_eq!(count_class(v, VertexClass::V1), (q - 1) / 2);
+                        assert_eq!(count_class(v, VertexClass::V2), (q - 1) / 2);
+                    }
+                    VertexClass::V2 => {
+                        // 1.3: (q+1)/2 in each of V1, V2.
+                        assert_eq!(count_class(v, VertexClass::Quadric), 0);
+                        assert_eq!(count_class(v, VertexClass::V1), (q + 1) / 2);
+                        assert_eq!(count_class(v, VertexClass::V2), (q + 1) / 2);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unique_two_hop_paths() {
+        // Property 1.4: exactly one 2-hop path between every pair, where a
+        // quadric's self-loop counts as an edge. In pure-graph terms:
+        // common neighbors of u≠v is 1, except pairs (quadric, neighbor)
+        // where it is 0 (their "2-hop path" runs through the self-loop).
+        for q in [3u64, 5, 7, 9] {
+            let pf = PolarFly::new(q).unwrap();
+            let g = pf.graph();
+            let n = pf.router_count() as u32;
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    let common = g
+                        .neighbors(u)
+                        .iter()
+                        .filter(|&&w| g.neighbors(v).binary_search(&w).is_ok())
+                        .count();
+                    let quadric_edge = g.has_edge(u, v) && (pf.is_quadric(u) || pf.is_quadric(v));
+                    let expect = if quadric_edge { 0 } else { 1 };
+                    assert_eq!(common, expect, "q={q} pair {u},{v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cross_product_intermediate_agrees_with_graph() {
+        for q in [3u64, 5, 7, 11] {
+            let pf = PolarFly::new(q).unwrap();
+            let g = pf.graph();
+            let n = pf.router_count() as u32;
+            for u in 0..n {
+                for v in 0..n {
+                    if u == v || g.has_edge(u, v) {
+                        continue;
+                    }
+                    let mid = pf.intermediate(u, v).expect("2-hop pair must have intermediate");
+                    assert!(g.has_edge(u, mid) && g.has_edge(mid, v), "q={q} {u}->{mid}->{v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn minimal_routes_are_minimal() {
+        let pf = PolarFly::new(7).unwrap();
+        let dm = pf_graph::DistanceMatrix::build(pf.graph());
+        for u in 0..pf.router_count() as u32 {
+            for v in 0..pf.router_count() as u32 {
+                let route = pf.minimal_route(u, v);
+                assert_eq!(route.len() as u32 - 1, u32::from(dm.get(u, v)));
+                for hop in route.windows(2) {
+                    assert!(pf.graph().has_edge(hop[0], hop[1]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_quadrangles() {
+        // §V-C: ER_q contains no 4-cycles (unique 2-hop paths forbid them).
+        let pf = PolarFly::new(5).unwrap();
+        let g = pf.graph();
+        let n = pf.router_count() as u32;
+        for u in 0..n {
+            for v in (u + 1)..n {
+                let common = g
+                    .neighbors(u)
+                    .iter()
+                    .filter(|&&w| g.neighbors(v).binary_search(&w).is_ok())
+                    .count();
+                assert!(common <= 1, "quadrangle found through {u},{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn even_q_also_diameter_two() {
+        // The paper's layout discussion is for odd q, but ER_q itself (and
+        // its Moore-bound scaling) holds for even prime powers too.
+        for q in [2u64, 4, 8, 16] {
+            let pf = PolarFly::new(q).unwrap();
+            assert_eq!(pf.measured_diameter(), Some(2), "q={q}");
+            assert_eq!(pf.quadrics().len() as u64, q + 1);
+        }
+    }
+
+    #[test]
+    fn moore_fraction_grows_toward_one() {
+        let f13 = PolarFly::new(13).unwrap().moore_fraction();
+        let f31 = PolarFly::new(31).unwrap().moore_fraction();
+        assert!(f31 > f13);
+        assert!(f31 > 0.96, "paper: >96% of Moore bound at moderate radixes");
+    }
+
+    #[test]
+    fn er3_matches_figure_4() {
+        // Fig. 4 of the paper draws ER_3: 13 vertices, 4 quadrics.
+        let pf = PolarFly::new(3).unwrap();
+        assert_eq!(pf.router_count(), 13);
+        assert_eq!(pf.quadrics().len(), 4);
+        // [1,1,1] is a quadric; [1,1,1]–[0,1,2] is an edge.
+        let v111 = pf.router_of(&V3([1, 1, 1])).unwrap();
+        let v012 = pf.router_of(&V3([0, 1, 2])).unwrap();
+        assert!(pf.is_quadric(v111));
+        assert!(pf.graph().has_edge(v111, v012));
+    }
+}

@@ -1,0 +1,64 @@
+#![deny(missing_docs)]
+//! # PolarFly — a cost-effective and flexible low-diameter topology
+//!
+//! Reproduction of *PolarFly* (Lakhotia, Besta, Monroe, Isham, Iff,
+//! Hoefler, Petrini — SC 2022): a diameter-2 direct network whose
+//! underlying graph is the Erdős–Rényi (Brown) polarity graph `ER_q` of
+//! the projective plane `PG(2, q)`. For every prime power `q`, `ER_q` has
+//! `N = q² + q + 1` routers of degree `k = q + 1` and diameter 2,
+//! asymptotically meeting the Moore bound `N ≤ 1 + k²`.
+//!
+//! ## Crate map (paper section → module)
+//!
+//! * §IV (topology) → [`er`]: construction, quadric/V1/V2 classification,
+//!   Property 1 machinery.
+//! * §IV-E (formal construction) → [`bipartite`]: the incidence graph
+//!   `B(q)` and the polarity quotient, verified equal to [`er`]'s output.
+//! * Theorem V.8 machinery → [`automorphism`]: orthogonal-similitude
+//!   action on `ER_q`, vertex permutations, orbits.
+//! * Figs. 6/13 → [`export`]: DOT/JSON rendering of the layered layout.
+//! * §IV-D (routing algebra) → [`routing`]: unique minimal paths via the
+//!   cross product, next-hop computation.
+//! * §V (layout) → [`layout`]: Algorithm 1 rack decomposition, fan-blade
+//!   clusters, inter-rack link structure (Props. V.2–V.4).
+//! * §V-C (triangles) → [`triangles`]: triangle census and classification
+//!   (Props. V.5–V.6, Thm. V.7, Table II, Table III).
+//! * §VI (expandability) → [`expansion`]: quadric and non-quadric cluster
+//!   replication without rewiring (Table IV).
+//! * §IX-B (path diversity) → [`paths`]: exact path-count census for
+//!   lengths 1–4 (Table VI).
+//! * §III / Figs. 1–2 → [`feasibility`]: feasible radixes, Moore-bound
+//!   efficiency of diameter-2 topologies.
+//! * §X / Fig. 15 → [`cost`]: iso-injection-bandwidth cost model for
+//!   co-packaged optical IO.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use polarfly::PolarFly;
+//!
+//! let pf = PolarFly::new(7).unwrap();
+//! assert_eq!(pf.router_count(), 57);   // q² + q + 1
+//! assert_eq!(pf.degree(), 8);          // q + 1
+//! assert_eq!(pf.diameter(), 2);
+//!
+//! // Minimal routing between non-adjacent routers goes through the unique
+//! // intermediate given by the cross product of their vectors.
+//! let route = pf.minimal_route(0, 33);
+//! assert!(route.len() <= 3);
+//! ```
+
+pub mod automorphism;
+pub mod bipartite;
+pub mod cost;
+pub mod export;
+pub mod er;
+pub mod expansion;
+pub mod feasibility;
+pub mod layout;
+pub mod paths;
+pub mod routing;
+pub mod triangles;
+
+pub use er::{PolarFly, VertexClass};
+pub use layout::Layout;

@@ -1,0 +1,282 @@
+//! Path-diversity census (paper §IX-B, Table VI).
+//!
+//! Table VI lists the exact number of simple paths of lengths 1–4 between
+//! arbitrary router pairs of `ER_q`, by case (adjacency, endpoint classes,
+//! and whether the unique 2-hop intermediate is quadric). These counts
+//! explain PolarFly's failure behaviour: with no 2- or 3-hop alternatives
+//! between a quadric and its neighbors, one failed quadric link pushes the
+//! diameter to 4 — but `O(q²)` 4-hop paths keep it there even at 55% link
+//! failure.
+//!
+//! Counting is exact enumeration (DFS over simple paths), independent of
+//! the algebra used to derive the formulas — so tests pin formula against
+//! enumeration.
+
+use crate::er::{PolarFly, VertexClass};
+use pf_graph::Csr;
+
+/// Number of simple paths (distinct internal vertices, none equal to the
+/// endpoints) of exactly `len` edges from `v` to `w`.
+pub fn count_paths(g: &Csr, v: u32, w: u32, len: usize) -> u64 {
+    count_paths_avoiding(g, v, w, len, None)
+}
+
+/// Like [`count_paths`], optionally excluding paths through `avoid` — the
+/// convention of Table VI's length-3 rows, which count the detours that
+/// *survive* a failure of the unique minimal path.
+pub fn count_paths_avoiding(g: &Csr, v: u32, w: u32, len: usize, avoid: Option<u32>) -> u64 {
+    assert!(len >= 1 && v != w);
+    let mut on_path = vec![false; g.vertex_count()];
+    on_path[v as usize] = true;
+    if let Some(a) = avoid {
+        debug_assert!(a != v && a != w);
+        on_path[a as usize] = true;
+    }
+    count_rec(g, v, w, len, &mut on_path)
+}
+
+fn count_rec(g: &Csr, cur: u32, target: u32, remaining: usize, on_path: &mut [bool]) -> u64 {
+    if remaining == 1 {
+        return u64::from(g.has_edge(cur, target) && !on_path[target as usize]);
+    }
+    let mut acc = 0u64;
+    for &nb in g.neighbors(cur) {
+        if nb == target || on_path[nb as usize] {
+            continue;
+        }
+        on_path[nb as usize] = true;
+        acc += count_rec(g, nb, target, remaining - 1, on_path);
+        on_path[nb as usize] = false;
+    }
+    acc
+}
+
+/// Exact path counts between one router pair for lengths 1–4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PathDiversity {
+    /// Simple paths of length 1 (0 or 1 — the direct link).
+    pub len1: u64,
+    /// Simple paths of length 2.
+    pub len2: u64,
+    /// Simple paths of length 3.
+    pub len3: u64,
+    /// Simple paths of length 4.
+    pub len4: u64,
+}
+
+/// Enumerated path diversity between `v` and `w`.
+pub fn measured_diversity(pf: &PolarFly, v: u32, w: u32) -> PathDiversity {
+    let g = pf.graph();
+    PathDiversity {
+        len1: count_paths(g, v, w, 1),
+        len2: count_paths(g, v, w, 2),
+        len3: count_paths(g, v, w, 3),
+        len4: count_paths(g, v, w, 4),
+    }
+}
+
+/// Closed-form path diversity for the pair `(v, w)`, odd `q`, verified by
+/// exhaustive enumeration (see `dbg_paths` and the tests below).
+///
+/// These are the counts of *simple paths in the graph*. They agree with the
+/// paper's Table VI everywhere except:
+///
+/// * Table VI's **length-3** rows count 3-hop paths *avoiding* the minimal
+///   intermediate `x` (the detours surviving a min-path failure) — see
+///   [`paper_table_vi`]; the all-paths counts here are `q+1 / q / q / q−1`
+///   depending on the case.
+/// * Table VI's **length-4 rows with quadric endpoints** appear to be
+///   errata: exhaustive enumeration at q ∈ {5, 7} gives `(q−1)²` for
+///   non-adjacent quadric–quadric pairs (paper: `q²−q`), `q²−q−2` for
+///   quadric–V1 (paper: `q²−3`), and `q²−q` for quadric–V2 (paper:
+///   `q²−1`). All counts remain `O(q²)`, which is the property §IX-B uses.
+pub fn expected_diversity(pf: &PolarFly, v: u32, w: u32) -> PathDiversity {
+    use VertexClass::{Quadric, V1, V2};
+    assert!(v != w);
+    let q = u64::from(pf.q());
+    let adjacent = pf.graph().has_edge(v, w);
+    let (cv, cw) = (pf.class(v), pf.class(w));
+    let some_quadric = cv == Quadric || cw == Quadric;
+    // The unique 2-hop intermediate (None exactly for quadric–neighbor pairs).
+    let x_quadric = pf.intermediate(v, w).map(|x| pf.is_quadric(x)).unwrap_or(false);
+
+    let len1 = u64::from(adjacent);
+    let len2 = if adjacent && some_quadric { 0 } else { 1 };
+    let len3 = if adjacent {
+        0
+    } else {
+        // Derivation: Σ_{a∈N(v)} #{b ∈ N(a)∩N(w), b∉{v}} — each non-x
+        // neighbor contributes its unique common neighbor with w; a = x
+        // contributes the (x, w) triangle apex when it exists.
+        match (cv, cw) {
+            (Quadric, Quadric) => q - 1,
+            (Quadric, _) | (_, Quadric) => q,
+            _ if x_quadric => q,
+            _ => q + 1,
+        }
+    };
+    let len4 = if adjacent {
+        if some_quadric {
+            q * q - q
+        } else {
+            (q - 1) * (q - 1)
+        }
+    } else {
+        match (cv, cw) {
+            (Quadric, Quadric) => (q - 1) * (q - 1),
+            (Quadric, V1) | (V1, Quadric) => q * q - q - 2,
+            (Quadric, V2) | (V2, Quadric) => q * q - q,
+            (V1, V1) if !x_quadric => q * q - 4,
+            (V1, V1) => q * q - 2, // x quadric
+            (V1, V2) | (V2, V1) => q * q - 2,
+            (V2, V2) => q * q,
+        }
+    };
+    PathDiversity { len1, len2, len3, len4 }
+}
+
+/// The paper's Table VI rows, verbatim, for side-by-side reporting in the
+/// `table06_path_diversity` harness. Lengths 1, 2, and 4 are counts of
+/// simple paths (with the quadric-endpoint length-4 errata noted on
+/// [`expected_diversity`]); length 3 counts paths avoiding the minimal
+/// intermediate `x`.
+pub fn paper_table_vi(pf: &PolarFly, v: u32, w: u32) -> PathDiversity {
+    use VertexClass::{Quadric, V1, V2};
+    assert!(v != w);
+    let q = u64::from(pf.q());
+    let adjacent = pf.graph().has_edge(v, w);
+    let (cv, cw) = (pf.class(v), pf.class(w));
+    let some_quadric = cv == Quadric || cw == Quadric;
+    let x_quadric = pf.intermediate(v, w).map(|x| pf.is_quadric(x)).unwrap_or(false);
+
+    let len1 = u64::from(adjacent);
+    let len2 = if adjacent && some_quadric { 0 } else { 1 };
+    let len3 = if adjacent {
+        0
+    } else if x_quadric {
+        q
+    } else {
+        q - 1
+    };
+    let len4 = if adjacent {
+        if some_quadric {
+            q * q - q
+        } else {
+            (q - 1) * (q - 1)
+        }
+    } else {
+        match (cv, cw) {
+            (Quadric, Quadric) => q * q - q,
+            (V1, V1) if !x_quadric => q * q - 4,
+            (Quadric, V1) | (V1, Quadric) => q * q - 3,
+            (V1, V1) => q * q - 2,
+            (V1, V2) | (V2, V1) => q * q - 2,
+            (Quadric, V2) | (V2, Quadric) => q * q - 1,
+            (V2, V2) => q * q,
+        }
+    };
+    PathDiversity { len1, len2, len3, len4 }
+}
+
+/// Table VI length-3 convention: 3-hop paths avoiding the minimal
+/// intermediate. Verified against the paper's `q−1` / `q` rows.
+pub fn surviving_3hop_paths(pf: &PolarFly, v: u32, w: u32) -> u64 {
+    let x = pf.intermediate(v, w);
+    count_paths_avoiding(pf.graph(), v, w, 3, x)
+}
+
+/// Verifies Table VI by enumeration over all (or `sample_stride`-strided)
+/// pairs; returns the first mismatching pair on failure.
+pub fn verify_table_vi(pf: &PolarFly, sample_stride: usize) -> Result<(), (u32, u32)> {
+    let n = pf.router_count() as u32;
+    let stride = sample_stride.max(1) as u32;
+    let mut i = 0u32;
+    for v in 0..n {
+        for w in (v + 1)..n {
+            i += 1;
+            if !i.is_multiple_of(stride) {
+                continue;
+            }
+            if measured_diversity(pf, v, w) != expected_diversity(pf, v, w) {
+                return Err((v, w));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_counts_on_triangle_plus_tail() {
+        // 0-1-2 triangle with tail 2-3.
+        let g = Csr::from_edges(4, vec![(0, 1), (1, 2), (0, 2), (2, 3)]);
+        assert_eq!(count_paths(&g, 0, 1, 1), 1);
+        assert_eq!(count_paths(&g, 0, 1, 2), 1); // 0-2-1
+        assert_eq!(count_paths(&g, 0, 3, 2), 1); // 0-2-3
+        assert_eq!(count_paths(&g, 0, 3, 3), 1); // 0-1-2-3
+        assert_eq!(count_paths(&g, 0, 1, 3), 0); // no simple 3-path
+    }
+
+    #[test]
+    fn table_vi_exhaustive_q5_q7() {
+        for q in [5u64, 7] {
+            let pf = PolarFly::new(q).unwrap();
+            assert_eq!(verify_table_vi(&pf, 1), Ok(()), "q={q}");
+        }
+    }
+
+    #[test]
+    fn table_vi_sampled_q9_q11() {
+        for q in [9u64, 11] {
+            let pf = PolarFly::new(q).unwrap();
+            assert_eq!(verify_table_vi(&pf, 37), Ok(()), "q={q}");
+        }
+    }
+
+    #[test]
+    fn paper_len3_counts_paths_avoiding_intermediate() {
+        // Table VI's length-3 rows (q−1 / q) match enumeration once paths
+        // through the minimal intermediate are excluded.
+        let pf = PolarFly::new(5).unwrap();
+        for v in 0..pf.router_count() as u32 {
+            for w in (v + 1)..pf.router_count() as u32 {
+                if pf.graph().has_edge(v, w) {
+                    continue;
+                }
+                let expect = paper_table_vi(&pf, v, w).len3;
+                assert_eq!(surviving_3hop_paths(&pf, v, w), expect, "{v},{w}");
+            }
+        }
+    }
+
+    #[test]
+    fn quadric_neighbor_pairs_have_no_2_or_3_hop_alternatives() {
+        // The resilience argument of §IX-B: a failed quadric link forces a
+        // 4-hop detour.
+        let pf = PolarFly::new(7).unwrap();
+        for &w in pf.quadrics() {
+            for &u in pf.graph().neighbors(w) {
+                let d = measured_diversity(&pf, w, u);
+                assert_eq!(d.len2, 0);
+                assert_eq!(d.len3, 0);
+                assert!(d.len4 > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn four_hop_diversity_is_order_q_squared() {
+        let pf = PolarFly::new(7).unwrap();
+        let q = 7u64;
+        // All cases lie in [ (q−1)², q² ].
+        for v in 0..pf.router_count() as u32 {
+            for w in (v + 1)..pf.router_count() as u32 {
+                let d = measured_diversity(&pf, v, w);
+                assert!(d.len4 >= (q - 1) * (q - 1) && d.len4 <= q * q, "{v},{w}: {}", d.len4);
+            }
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! The projective plane `PG(2, q)`: points, lines, incidence, and the
+//! polarity map (paper §IV-E).
+//!
+//! Points and lines of `PG(2, q)` are both represented by left-normalized
+//! vectors of `F_q³` (a line `(b₁ : b₂ : b₃)` contains the points `[x]`
+//! with `b·x = 0`). The standard dot-product **polarity** maps the point
+//! `[a]` to the line `[a]⊥` with the same coordinates — the bijection the
+//! paper uses to halve the bipartite incidence graph `B(q)` into `ER_q`.
+//!
+//! This module provides the axiomatics the construction rests on, each of
+//! which is pinned by tests:
+//!
+//! * `q² + q + 1` points and equally many lines;
+//! * every line carries `q + 1` points, every point lies on `q + 1` lines;
+//! * two distinct points span exactly one line; two distinct lines meet in
+//!   exactly one point;
+//! * the polarity is an involution (`(a⊥)⊥ = a`) exchanging incidence
+//!   (`x ∈ a⊥ ⇔ a ∈ x⊥`);
+//! * `q + 1` points are *absolute* (lie on their own polar line) — the
+//!   quadrics of PolarFly.
+
+use crate::field::Gf;
+use crate::vec3::{ProjectivePoints, V3};
+
+/// `PG(2, q)` with the dot-product polarity.
+pub struct ProjectivePlane {
+    field: Gf,
+    points: ProjectivePoints,
+}
+
+impl ProjectivePlane {
+    /// The projective plane over `F_q`.
+    pub fn new(field: Gf) -> Self {
+        let points = ProjectivePoints::new(field.order());
+        ProjectivePlane { field, points }
+    }
+
+    /// The underlying field.
+    pub fn field(&self) -> &Gf {
+        &self.field
+    }
+
+    /// Number of points (= number of lines), `q² + q + 1`.
+    pub fn point_count(&self) -> usize {
+        self.points.count()
+    }
+
+    /// The point with the given canonical index.
+    pub fn point(&self, idx: usize) -> V3 {
+        self.points.point(idx)
+    }
+
+    /// Canonical index of a point / line representative.
+    pub fn index(&self, v: &V3) -> Option<usize> {
+        self.points.index_of(v, &self.field)
+    }
+
+    /// Whether point `x` lies on line `l` (`l · x = 0`).
+    pub fn incident(&self, x: &V3, l: &V3) -> bool {
+        x.orthogonal(l, &self.field)
+    }
+
+    /// The `q + 1` points on line `l`, by canonical index.
+    pub fn points_on_line(&self, l: &V3) -> Vec<usize> {
+        crate::vec3::line_points(l, &self.field)
+            .into_iter()
+            .map(|p| self.points.index(&p))
+            .collect()
+    }
+
+    /// The `q + 1` lines through point `x` (dually: the points on `x⊥`
+    /// are the polar images of the lines through `x`).
+    pub fn lines_through_point(&self, x: &V3) -> Vec<usize> {
+        // A line l passes through x iff l·x = 0 iff the point l lies on
+        // the line x (self-dual coordinates).
+        self.points_on_line(x)
+    }
+
+    /// The unique line through two distinct points: their cross product.
+    pub fn line_through(&self, a: &V3, b: &V3) -> Option<V3> {
+        a.cross(b, &self.field).normalize(&self.field)
+    }
+
+    /// The unique intersection point of two distinct lines (duality: also
+    /// the cross product).
+    pub fn meet(&self, l1: &V3, l2: &V3) -> Option<V3> {
+        l1.cross(l2, &self.field).normalize(&self.field)
+    }
+
+    /// The polarity map: the point `[a]` ↦ the line `[a]⊥` (identity on
+    /// coordinates under the dot-product polarity, but kept explicit so
+    /// the quotient construction reads like the paper).
+    pub fn polar(&self, a: &V3) -> V3 {
+        *a
+    }
+
+    /// Whether `a` is *absolute* (lies on its own polar line) — a quadric.
+    pub fn is_absolute(&self, a: &V3) -> bool {
+        a.is_quadric(&self.field)
+    }
+
+    /// All absolute points, by canonical index (`q + 1` of them).
+    pub fn absolute_points(&self) -> Vec<usize> {
+        (0..self.point_count())
+            .filter(|&i| self.is_absolute(&self.point(i)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plane(q: u64) -> ProjectivePlane {
+        ProjectivePlane::new(Gf::new(q).unwrap())
+    }
+
+    #[test]
+    fn point_and_line_counts() {
+        for q in [2u64, 3, 4, 5, 7, 9] {
+            let pg = plane(q);
+            assert_eq!(pg.point_count() as u64, q * q + q + 1);
+            // Every line has q+1 points; every point is on q+1 lines.
+            for i in 0..pg.point_count() {
+                let l = pg.point(i);
+                assert_eq!(pg.points_on_line(&l).len() as u64, q + 1, "line {i}");
+                assert_eq!(pg.lines_through_point(&l).len() as u64, q + 1, "point {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn two_points_span_one_line() {
+        for q in [3u64, 4, 5] {
+            let pg = plane(q);
+            let n = pg.point_count();
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let (a, b) = (pg.point(i), pg.point(j));
+                    let l = pg.line_through(&a, &b).expect("distinct points span a line");
+                    assert!(pg.incident(&a, &l) && pg.incident(&b, &l));
+                    // Uniqueness: no other line contains both.
+                    let count = (0..n)
+                        .filter(|&k| {
+                            let cand = pg.point(k);
+                            pg.incident(&a, &cand) && pg.incident(&b, &cand)
+                        })
+                        .count();
+                    assert_eq!(count, 1, "points {i},{j} on {count} common lines");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn two_lines_meet_in_one_point() {
+        let pg = plane(5);
+        let n = pg.point_count();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let (l1, l2) = (pg.point(i), pg.point(j));
+                let x = pg.meet(&l1, &l2).unwrap();
+                assert!(pg.incident(&x, &l1) && pg.incident(&x, &l2));
+            }
+        }
+    }
+
+    #[test]
+    fn polarity_is_incidence_preserving_involution() {
+        let pg = plane(7);
+        let n = pg.point_count();
+        for i in 0..n {
+            let a = pg.point(i);
+            // Involution (trivially, same coordinates).
+            assert_eq!(pg.polar(&pg.polar(&a)), a);
+            for j in 0..n {
+                let x = pg.point(j);
+                // x on a⊥ ⇔ a on x⊥.
+                assert_eq!(
+                    pg.incident(&x, &pg.polar(&a)),
+                    pg.incident(&a, &pg.polar(&x)),
+                    "polarity incidence symmetry failed at {i},{j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn absolute_points_are_the_quadrics() {
+        for q in [3u64, 5, 7, 9, 11] {
+            let pg = plane(q);
+            assert_eq!(pg.absolute_points().len() as u64, q + 1, "q={q}");
+        }
+    }
+}

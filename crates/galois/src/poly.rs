@@ -1,0 +1,250 @@
+//! Dense polynomial arithmetic over the prime field `F_p`.
+//!
+//! Extension fields `GF(p^m)` (needed whenever the PolarFly parameter `q` is
+//! a non-prime prime power such as 9, 25, 27, 49, 121, 125) are constructed
+//! as `F_p[x] / (f)` for a monic irreducible `f` of degree `m`. This module
+//! provides the polynomial arithmetic and the irreducibility test (Rabin's
+//! criterion) used to find `f`.
+//!
+//! Polynomials are coefficient vectors, lowest degree first, with no
+//! trailing zeros (the zero polynomial is the empty vector). Coefficients
+//! live in `0..p`.
+
+/// Removes trailing zero coefficients in place.
+fn trim(c: &mut Vec<u32>) {
+    while c.last() == Some(&0) {
+        c.pop();
+    }
+}
+
+/// Degree of `a`, or `None` for the zero polynomial.
+pub fn degree(a: &[u32]) -> Option<usize> {
+    a.iter().rposition(|&c| c != 0)
+}
+
+/// `a + b (mod p)`.
+pub fn add(a: &[u32], b: &[u32], p: u32) -> Vec<u32> {
+    let mut out = vec![0u32; a.len().max(b.len())];
+    for (i, slot) in out.iter_mut().enumerate() {
+        let x = a.get(i).copied().unwrap_or(0);
+        let y = b.get(i).copied().unwrap_or(0);
+        *slot = (x + y) % p;
+    }
+    trim(&mut out);
+    out
+}
+
+/// `a − b (mod p)`.
+pub fn sub(a: &[u32], b: &[u32], p: u32) -> Vec<u32> {
+    let mut out = vec![0u32; a.len().max(b.len())];
+    for (i, slot) in out.iter_mut().enumerate() {
+        let x = a.get(i).copied().unwrap_or(0);
+        let y = b.get(i).copied().unwrap_or(0);
+        *slot = (x + p - y) % p;
+    }
+    trim(&mut out);
+    out
+}
+
+/// `a · b (mod p)`. Schoolbook; degrees here are tiny (≤ 7).
+pub fn mul(a: &[u32], b: &[u32], p: u32) -> Vec<u32> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![0u64; a.len() + b.len() - 1];
+    for (i, &x) in a.iter().enumerate() {
+        if x == 0 {
+            continue;
+        }
+        for (j, &y) in b.iter().enumerate() {
+            out[i + j] += u64::from(x) * u64::from(y);
+        }
+    }
+    let mut out: Vec<u32> = out.into_iter().map(|c| (c % u64::from(p)) as u32).collect();
+    trim(&mut out);
+    out
+}
+
+/// Modular inverse of `a` in `F_p` (extended Euclid). Panics on `a ≡ 0`.
+pub fn inv_mod(a: u32, p: u32) -> u32 {
+    assert!(!a.is_multiple_of(p), "zero has no inverse in F_{p}");
+    let (mut t, mut new_t) = (0i64, 1i64);
+    let (mut r, mut new_r) = (i64::from(p), i64::from(a % p));
+    while new_r != 0 {
+        let q = r / new_r;
+        (t, new_t) = (new_t, t - q * new_t);
+        (r, new_r) = (new_r, r - q * new_r);
+    }
+    debug_assert_eq!(r, 1, "{a} not invertible mod {p}");
+    t.rem_euclid(i64::from(p)) as u32
+}
+
+/// Remainder of `a` divided by monic-normalizable `f` over `F_p`.
+pub fn rem(a: &[u32], f: &[u32], p: u32) -> Vec<u32> {
+    let df = degree(f).expect("division by zero polynomial");
+    let lead_inv = inv_mod(f[df], p);
+    let mut r: Vec<u32> = a.to_vec();
+    trim(&mut r);
+    while let Some(dr) = degree(&r) {
+        if dr < df {
+            break;
+        }
+        let coef = (u64::from(r[dr]) * u64::from(lead_inv) % u64::from(p)) as u32;
+        let shift = dr - df;
+        for (i, &fc) in f.iter().enumerate() {
+            let sub_val = (u64::from(coef) * u64::from(fc) % u64::from(p)) as u32;
+            r[i + shift] = (r[i + shift] + p - sub_val) % p;
+        }
+        trim(&mut r);
+    }
+    r
+}
+
+/// `a · b mod f` over `F_p`.
+pub fn mulmod(a: &[u32], b: &[u32], f: &[u32], p: u32) -> Vec<u32> {
+    rem(&mul(a, b, p), f, p)
+}
+
+/// `x^(p^e) mod f` computed by repeated `p`-th powering.
+fn x_pow_p_pow(e: u32, f: &[u32], p: u32) -> Vec<u32> {
+    let mut acc = vec![0, 1]; // x
+    for _ in 0..e {
+        acc = powmod(&acc, u64::from(p), f, p);
+    }
+    acc
+}
+
+/// `a^n mod f` by square and multiply.
+pub fn powmod(a: &[u32], mut n: u64, f: &[u32], p: u32) -> Vec<u32> {
+    let mut base = rem(a, f, p);
+    let mut acc = vec![1u32];
+    while n > 0 {
+        if n & 1 == 1 {
+            acc = mulmod(&acc, &base, f, p);
+        }
+        base = mulmod(&base, &base, f, p);
+        n >>= 1;
+    }
+    acc
+}
+
+/// Polynomial gcd over `F_p` (monic result).
+pub fn gcd(a: &[u32], b: &[u32], p: u32) -> Vec<u32> {
+    let (mut a, mut b) = (a.to_vec(), b.to_vec());
+    trim(&mut a);
+    trim(&mut b);
+    while !b.is_empty() {
+        let r = rem(&a, &b, p);
+        a = b;
+        b = r;
+    }
+    if let Some(d) = degree(&a) {
+        let s = inv_mod(a[d], p);
+        for c in &mut a {
+            *c = (u64::from(*c) * u64::from(s) % u64::from(p)) as u32;
+        }
+    }
+    a
+}
+
+/// Rabin's irreducibility test for a monic degree-`m` polynomial `f` over
+/// `F_p`: `f` is irreducible iff `x^(p^m) ≡ x (mod f)` and
+/// `gcd(x^(p^(m/r)) − x, f) = 1` for every prime `r | m`.
+pub fn is_irreducible(f: &[u32], p: u32) -> bool {
+    let m = match degree(f) {
+        Some(m) if m >= 1 => m as u32,
+        _ => return false,
+    };
+    if m == 1 {
+        return true;
+    }
+    let x = vec![0u32, 1];
+    for r in crate::primes::prime_factors(u64::from(m)) {
+        let e = m / r as u32;
+        let xp = x_pow_p_pow(e, f, p);
+        let g = gcd(&sub(&xp, &x, p), f, p);
+        if degree(&g) != Some(0) {
+            return false;
+        }
+    }
+    let xpm = x_pow_p_pow(m, f, p);
+    sub(&xpm, &x, p).is_empty()
+}
+
+/// Finds the lexicographically-least monic irreducible polynomial of degree
+/// `m` over `F_p`. Deterministic, so every run of the workspace constructs
+/// the *same* field `GF(p^m)` — important for reproducible topologies.
+pub fn find_irreducible(p: u32, m: u32) -> Vec<u32> {
+    assert!(m >= 1);
+    // Enumerate the p^m choices of the low-order coefficients.
+    let total = u64::from(p).pow(m);
+    for low in 0..total {
+        let mut f = vec![0u32; m as usize + 1];
+        let mut v = low;
+        for slot in f.iter_mut().take(m as usize) {
+            *slot = (v % u64::from(p)) as u32;
+            v /= u64::from(p);
+        }
+        f[m as usize] = 1;
+        if is_irreducible(&f, p) {
+            return f;
+        }
+    }
+    unreachable!("an irreducible polynomial of every degree exists over F_p")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_mod_3() {
+        let a = vec![1, 2]; // 1 + 2x
+        let b = vec![2, 1]; // 2 + x
+        assert_eq!(add(&a, &b, 3), Vec::<u32>::new()); // 3 + 3x ≡ 0
+        assert_eq!(mul(&a, &b, 3), vec![2, 2, 2]); // (1+2x)(2+x) = 2 + 5x + 2x² ≡ 2+2x+2x²
+    }
+
+    #[test]
+    fn inverse_mod_primes() {
+        for p in [2u32, 3, 5, 7, 11, 13] {
+            for a in 1..p {
+                assert_eq!(u64::from(a) * u64::from(inv_mod(a, p)) % u64::from(p), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn remainder_examples() {
+        // x² + 1 mod (x + 1) over F_2: (x+1)² = x²+1, so remainder 0.
+        assert_eq!(rem(&[1, 0, 1], &[1, 1], 2), Vec::<u32>::new());
+        // x² mod (x² + x + 1) over F_2 = x + 1.
+        assert_eq!(rem(&[0, 0, 1], &[1, 1, 1], 2), vec![1, 1]);
+    }
+
+    #[test]
+    fn known_irreducibles() {
+        assert!(is_irreducible(&[1, 1, 1], 2)); // x²+x+1
+        assert!(!is_irreducible(&[1, 0, 1], 2)); // x²+1 = (x+1)²
+        assert!(is_irreducible(&[1, 0, 0, 1, 1], 2)); // x⁴+x³+1
+        assert!(!is_irreducible(&[1, 0, 0, 0, 1], 2)); // x⁴+1
+        assert!(is_irreducible(&[1, 2, 0, 1], 3)); // x³+2x+1 over F_3
+    }
+
+    #[test]
+    fn finds_irreducible_for_every_needed_field() {
+        for (p, m) in [(2u32, 2u32), (2, 3), (2, 4), (2, 5), (3, 2), (3, 3), (5, 2), (5, 3), (7, 2), (11, 2)] {
+            let f = find_irreducible(p, m);
+            assert_eq!(degree(&f), Some(m as usize));
+            assert!(is_irreducible(&f, p));
+        }
+    }
+
+    #[test]
+    fn gcd_is_monic_common_divisor() {
+        // Over F_5: gcd((x+1)(x+2), (x+1)(x+3)) = x+1.
+        let a = mul(&[1, 1], &[2, 1], 5);
+        let b = mul(&[1, 1], &[3, 1], 5);
+        assert_eq!(gcd(&a, &b, 5), vec![1, 1]);
+    }
+}

@@ -1,0 +1,243 @@
+//! Breadth-first search, all-pairs distances, diameter, and average
+//! shortest path length.
+//!
+//! The interconnect graphs in this workspace are small (≤ ~20 000 vertices)
+//! and unweighted, so all-pairs distances are computed as one BFS per
+//! source, parallelized across sources with Rayon. Distances are stored as
+//! `u8` (`UNREACHABLE = 255`): no experiment in the paper produces finite
+//! distances anywhere near that, and the compact matrix (N² bytes) is what
+//! makes full routing tables for the 993-router configurations cheap.
+
+use crate::csr::Csr;
+use rayon::prelude::*;
+use std::collections::VecDeque;
+
+/// Sentinel distance for unreachable vertex pairs.
+pub const UNREACHABLE: u8 = u8::MAX;
+
+/// Single-source BFS distances (`UNREACHABLE` where not reachable).
+pub fn bfs_distances(g: &Csr, src: u32) -> Vec<u8> {
+    let n = g.vertex_count();
+    let mut dist = vec![UNREACHABLE; n];
+    let mut queue = VecDeque::with_capacity(n);
+    dist[src as usize] = 0;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &w in g.neighbors(u) {
+            if dist[w as usize] == UNREACHABLE {
+                dist[w as usize] = du + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// Dense all-pairs distance matrix.
+#[derive(Clone)]
+pub struct DistanceMatrix {
+    n: usize,
+    dist: Vec<u8>,
+}
+
+impl DistanceMatrix {
+    /// All-pairs BFS, parallel over sources.
+    pub fn build(g: &Csr) -> DistanceMatrix {
+        let n = g.vertex_count();
+        let dist: Vec<u8> = (0..n as u32)
+            .into_par_iter()
+            .flat_map_iter(|s| bfs_distances(g, s))
+            .collect();
+        DistanceMatrix { n, dist }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn vertex_count(&self) -> usize {
+        self.n
+    }
+
+    /// Distance from `u` to `v` (`UNREACHABLE` if disconnected).
+    #[inline]
+    pub fn get(&self, u: u32, v: u32) -> u8 {
+        self.dist[u as usize * self.n + v as usize]
+    }
+
+    /// The row of distances from `u`.
+    #[inline]
+    pub fn row(&self, u: u32) -> &[u8] {
+        &self.dist[u as usize * self.n..(u as usize + 1) * self.n]
+    }
+
+    /// `true` iff every pair is reachable.
+    pub fn connected(&self) -> bool {
+        self.dist.iter().all(|&d| d != UNREACHABLE)
+    }
+
+    /// Graph diameter, or `None` if disconnected.
+    pub fn diameter(&self) -> Option<u32> {
+        let mut max = 0u8;
+        for &d in &self.dist {
+            if d == UNREACHABLE {
+                return None;
+            }
+            max = max.max(d);
+        }
+        Some(u32::from(max))
+    }
+
+    /// Diameter over reachable pairs only (the "observed" diameter reported
+    /// for partially failed networks before disconnection is detected).
+    pub fn diameter_reachable(&self) -> u32 {
+        self.dist.iter().copied().filter(|&d| d != UNREACHABLE).max().map_or(0, u32::from)
+    }
+
+    /// Average shortest path length over ordered reachable pairs `u ≠ v`.
+    pub fn average_shortest_path(&self) -> f64 {
+        let mut sum = 0u64;
+        let mut count = 0u64;
+        for u in 0..self.n {
+            for v in 0..self.n {
+                if u == v {
+                    continue;
+                }
+                let d = self.dist[u * self.n + v];
+                if d != UNREACHABLE {
+                    sum += u64::from(d);
+                    count += 1;
+                }
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            sum as f64 / count as f64
+        }
+    }
+
+    /// Histogram of distances over ordered pairs `u ≠ v`; index = distance.
+    /// Unreachable pairs are not counted.
+    pub fn distance_histogram(&self) -> Vec<u64> {
+        let mut hist = Vec::new();
+        for u in 0..self.n {
+            for v in 0..self.n {
+                if u == v {
+                    continue;
+                }
+                let d = self.dist[u * self.n + v];
+                if d == UNREACHABLE {
+                    continue;
+                }
+                let d = d as usize;
+                if hist.len() <= d {
+                    hist.resize(d + 1, 0);
+                }
+                hist[d] += 1;
+            }
+        }
+        hist
+    }
+}
+
+/// Convenience: diameter of `g`, `None` if disconnected.
+pub fn diameter(g: &Csr) -> Option<u32> {
+    DistanceMatrix::build(g).diameter()
+}
+
+/// Convenience: average shortest path length of `g` over reachable pairs.
+pub fn average_shortest_path(g: &Csr) -> f64 {
+    DistanceMatrix::build(g).average_shortest_path()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::GraphBuilder;
+
+    fn path(n: usize) -> Csr {
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n as u32 - 1 {
+            b.add_edge(i, i + 1);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn bfs_on_path() {
+        let g = path(5);
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs_distances(&g, 2), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn path_metrics() {
+        let g = path(4);
+        let m = DistanceMatrix::build(&g);
+        assert_eq!(m.diameter(), Some(3));
+        // ordered pairs: distances 1,2,3,1,1,2,2,1,1,3,2,1 → sum 20 / 12
+        assert!((m.average_shortest_path() - 20.0 / 12.0).abs() < 1e-12);
+        assert_eq!(m.distance_histogram(), vec![0, 6, 4, 2]);
+    }
+
+    #[test]
+    fn disconnected_graph() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(2, 3);
+        let g = b.build();
+        let m = DistanceMatrix::build(&g);
+        assert_eq!(m.diameter(), None);
+        assert!(!m.connected());
+        assert_eq!(m.diameter_reachable(), 1);
+        assert_eq!(m.get(0, 2), UNREACHABLE);
+    }
+
+    #[test]
+    fn complete_graph_diameter_one() {
+        let n = 6u32;
+        let mut b = GraphBuilder::new(n as usize);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                b.add_edge(u, v);
+            }
+        }
+        let m = DistanceMatrix::build(&b.build());
+        assert_eq!(m.diameter(), Some(1));
+        assert!((m.average_shortest_path() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_matrix_rows_match_single_source() {
+        let g = path(6);
+        let m = DistanceMatrix::build(&g);
+        for s in 0..6u32 {
+            assert_eq!(m.row(s), bfs_distances(&g, s).as_slice());
+        }
+        assert_eq!(m.vertex_count(), 6);
+    }
+
+    #[test]
+    fn histogram_sums_to_ordered_pairs() {
+        let g = path(5);
+        let m = DistanceMatrix::build(&g);
+        let hist = m.distance_histogram();
+        let total: u64 = hist.iter().sum();
+        assert_eq!(total, 5 * 4); // all ordered pairs reachable
+        assert_eq!(hist[0], 0);
+    }
+
+    #[test]
+    fn petersen_diameter_two() {
+        // Outer 5-cycle 0..4, inner pentagram 5..9, spokes i—i+5.
+        let mut b = GraphBuilder::new(10);
+        for i in 0..5u32 {
+            b.add_edge(i, (i + 1) % 5);
+            b.add_edge(i + 5, (i + 2) % 5 + 5);
+            b.add_edge(i, i + 5);
+        }
+        let g = b.build();
+        assert!(g.is_regular(3));
+        assert_eq!(diameter(&g), Some(2));
+    }
+}

@@ -1,0 +1,292 @@
+//! Compressed-sparse-row undirected graphs.
+//!
+//! All topologies in the workspace are materialized as [`Csr`] graphs:
+//! vertices are `u32` indices, adjacency is stored twice (once per
+//! direction) in a flat neighbor array for cache-friendly BFS. Builders
+//! deduplicate edges and reject self-loops, so structural invariants
+//! (degree counts, edge counts) are exact.
+
+use std::fmt;
+
+/// Incremental edge-list builder for [`Csr`].
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(u32, u32)>,
+}
+
+impl GraphBuilder {
+    /// A builder for a graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder { n, edges: Vec::new() }
+    }
+
+    /// Adds the undirected edge `{u, v}`. Panics on out-of-range vertices
+    /// or self-loops (no topology in this workspace has them; quadric
+    /// "self-loops" in `ER_q` are modelled structurally, not as edges).
+    pub fn add_edge(&mut self, u: u32, v: u32) {
+        assert!(u != v, "self-loop {u}-{v} rejected");
+        assert!((u as usize) < self.n && (v as usize) < self.n, "edge {u}-{v} out of range");
+        let e = if u < v { (u, v) } else { (v, u) };
+        self.edges.push(e);
+    }
+
+    /// Adds `{u, v}` unless it is already present. O(current edges); use
+    /// only in construction paths where duplicates are possible.
+    pub fn add_edge_dedup(&mut self, u: u32, v: u32) {
+        let e = if u < v { (u, v) } else { (v, u) };
+        if !self.edges.contains(&e) {
+            self.add_edge(u, v);
+        }
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.n
+    }
+
+    /// Finalizes into a [`Csr`], deduplicating edges.
+    pub fn build(mut self) -> Csr {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        Csr::from_sorted_edges(self.n, self.edges)
+    }
+}
+
+/// An undirected graph in CSR form.
+///
+/// # Examples
+///
+/// ```
+/// use pf_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(4);
+/// b.add_edge(0, 1);
+/// b.add_edge(1, 2);
+/// b.add_edge(2, 3);
+/// let g = b.build();
+/// assert_eq!(g.edge_count(), 3);
+/// assert_eq!(g.neighbors(1), &[0, 2]);
+/// assert!(g.is_connected());
+/// ```
+#[derive(Clone)]
+pub struct Csr {
+    offsets: Vec<u32>,
+    neighbors: Vec<u32>,
+    /// Canonical edge list (`u < v`), sorted. Kept alongside the adjacency
+    /// arrays because partitioning and failure injection iterate edges.
+    edges: Vec<(u32, u32)>,
+}
+
+impl fmt::Debug for Csr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Csr")
+            .field("n", &self.vertex_count())
+            .field("m", &self.edge_count())
+            .finish()
+    }
+}
+
+impl Csr {
+    /// Builds from a sorted, deduplicated canonical edge list.
+    fn from_sorted_edges(n: usize, edges: Vec<(u32, u32)>) -> Csr {
+        let mut degree = vec![0u32; n];
+        for &(u, v) in &edges {
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let mut offsets = vec![0u32; n + 1];
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + degree[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut neighbors = vec![0u32; edges.len() * 2];
+        for &(u, v) in &edges {
+            neighbors[cursor[u as usize] as usize] = v;
+            cursor[u as usize] += 1;
+            neighbors[cursor[v as usize] as usize] = u;
+            cursor[v as usize] += 1;
+        }
+        // Sort each adjacency run so neighbor lookups can binary-search.
+        for i in 0..n {
+            let (s, e) = (offsets[i] as usize, offsets[i + 1] as usize);
+            neighbors[s..e].sort_unstable();
+        }
+        Csr { offsets, neighbors, edges }
+    }
+
+    /// Builds directly from an arbitrary edge list (deduplicated here).
+    pub fn from_edges(n: usize, mut edges: Vec<(u32, u32)>) -> Csr {
+        for e in &mut edges {
+            if e.0 > e.1 {
+                *e = (e.1, e.0);
+            }
+            assert!(e.0 != e.1, "self-loop rejected");
+            assert!((e.1 as usize) < n, "edge out of range");
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        Csr::from_sorted_edges(n, edges)
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn vertex_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: u32) -> usize {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+    }
+
+    /// Maximum degree over all vertices.
+    pub fn max_degree(&self) -> usize {
+        (0..self.vertex_count() as u32).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Minimum degree over all vertices.
+    pub fn min_degree(&self) -> usize {
+        (0..self.vertex_count() as u32).map(|v| self.degree(v)).min().unwrap_or(0)
+    }
+
+    /// Sorted neighbors of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        &self.neighbors[self.offsets[v as usize] as usize..self.offsets[v as usize + 1] as usize]
+    }
+
+    /// Whether `{u, v}` is an edge (binary search).
+    #[inline]
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// The canonical (`u < v`, sorted) edge list.
+    #[inline]
+    pub fn edges(&self) -> &[(u32, u32)] {
+        &self.edges
+    }
+
+    /// A copy of the graph with the given canonical edges removed.
+    pub fn without_edges(&self, removed: &[(u32, u32)]) -> Csr {
+        let mut removed: Vec<(u32, u32)> = removed
+            .iter()
+            .map(|&(u, v)| if u < v { (u, v) } else { (v, u) })
+            .collect();
+        removed.sort_unstable();
+        let kept: Vec<(u32, u32)> = self
+            .edges
+            .iter()
+            .copied()
+            .filter(|e| removed.binary_search(e).is_err())
+            .collect();
+        Csr::from_sorted_edges(self.vertex_count(), kept)
+    }
+
+    /// Whether the graph is connected (BFS from vertex 0).
+    pub fn is_connected(&self) -> bool {
+        let n = self.vertex_count();
+        if n == 0 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut queue = std::collections::VecDeque::from([0u32]);
+        seen[0] = true;
+        let mut visited = 1usize;
+        while let Some(u) = queue.pop_front() {
+            for &w in self.neighbors(u) {
+                if !seen[w as usize] {
+                    seen[w as usize] = true;
+                    visited += 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        visited == n
+    }
+
+    /// Whether the graph is `k`-regular.
+    pub fn is_regular(&self, k: usize) -> bool {
+        (0..self.vertex_count() as u32).all(|v| self.degree(v) == k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: usize) -> Csr {
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n as u32 {
+            b.add_edge(i, (i + 1) % n as u32);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn builds_cycle() {
+        let g = cycle(5);
+        assert_eq!(g.vertex_count(), 5);
+        assert_eq!(g.edge_count(), 5);
+        assert!(g.is_regular(2));
+        assert!(g.is_connected());
+        assert_eq!(g.neighbors(0), &[1, 4]);
+        assert!(g.has_edge(2, 3));
+        assert!(!g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn deduplicates_edges() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 0);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        let g = b.build();
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.degree(1), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn rejects_self_loops() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(1, 1);
+    }
+
+    #[test]
+    fn edge_removal() {
+        let g = cycle(6);
+        let g2 = g.without_edges(&[(1, 0)]); // non-canonical order accepted
+        assert_eq!(g2.edge_count(), 5);
+        assert!(!g2.has_edge(0, 1));
+        assert!(g2.is_connected()); // a 6-path is still connected
+        let g3 = g2.without_edges(&[(2, 3)]);
+        assert_eq!(g3.edge_count(), 4);
+        assert!(!g3.is_connected());
+    }
+
+    #[test]
+    fn complete_graph_properties() {
+        let n = 8u32;
+        let mut b = GraphBuilder::new(n as usize);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                b.add_edge(u, v);
+            }
+        }
+        let g = b.build();
+        assert_eq!(g.edge_count(), 28);
+        assert!(g.is_regular(7));
+        assert_eq!(g.max_degree(), 7);
+        assert_eq!(g.min_degree(), 7);
+    }
+}

@@ -1,0 +1,200 @@
+//! Random link-failure experiments (Fig. 14).
+//!
+//! §IX-B of the paper: simulate random link failures until the network
+//! disconnects; over 100 trials report the *median* disconnection ratio,
+//! then plot diameter and average shortest path length versus failure
+//! ratio for a median run. (Mean/σ are unusable because diameter becomes
+//! infinite at disconnection — the paper makes the same observation.)
+
+use crate::bfs::DistanceMatrix;
+use crate::csr::Csr;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+/// Network state at one failure checkpoint.
+#[derive(Debug, Clone)]
+pub struct FailurePoint {
+    /// Fraction of links removed.
+    pub failure_ratio: f64,
+    /// Diameter over *reachable* pairs (the curve the paper plots keeps
+    /// growing until disconnection).
+    pub diameter: u32,
+    /// Average shortest path length over reachable pairs.
+    pub aspl: f64,
+    /// Whether the residual network is still connected.
+    pub connected: bool,
+}
+
+/// One seeded failure trial.
+#[derive(Debug, Clone)]
+pub struct FailureTrial {
+    /// Smallest failure ratio at which the network disconnects.
+    pub disconnect_ratio: f64,
+    /// Metrics at each requested checkpoint.
+    pub curve: Vec<FailurePoint>,
+}
+
+/// Weighted quick-union with path halving.
+struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    components: usize,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n as u32).collect(), size: vec![1; n], components: n }
+    }
+
+    fn find(&mut self, mut v: u32) -> u32 {
+        while self.parent[v as usize] != v {
+            self.parent[v as usize] = self.parent[self.parent[v as usize] as usize];
+            v = self.parent[v as usize];
+        }
+        v
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] { (ra, rb) } else { (rb, ra) };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+        self.components -= 1;
+    }
+}
+
+/// Returns the number of removed edges (prefix of `order`) at which the
+/// graph first disconnects.
+fn disconnect_prefix(g: &Csr, order: &[(u32, u32)]) -> usize {
+    // Connectivity is monotone in the removal prefix: binary search for the
+    // first prefix length whose *complement* is disconnected.
+    let m = order.len();
+    let connected_with_prefix_removed = |k: usize| -> bool {
+        let mut uf = UnionFind::new(g.vertex_count());
+        for &(u, v) in &order[k..] {
+            uf.union(u, v);
+        }
+        uf.components == 1
+    };
+    let (mut lo, mut hi) = (0usize, m); // lo connected, hi disconnected
+    if connected_with_prefix_removed(m) {
+        return m; // never disconnects (impossible for non-trivial graphs)
+    }
+    while hi - lo > 1 {
+        let mid = (lo + hi) / 2;
+        if connected_with_prefix_removed(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    hi
+}
+
+/// Runs one failure trial: removes a random prefix of links (seeded
+/// shuffle) and reports metrics at each checkpoint ratio, plus the exact
+/// disconnection ratio.
+pub fn failure_trial(g: &Csr, checkpoints: &[f64], seed: u64) -> FailureTrial {
+    let mut order: Vec<(u32, u32)> = g.edges().to_vec();
+    let mut rng = StdRng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+
+    let m = order.len();
+    let disconnect_at = disconnect_prefix(g, &order);
+    let disconnect_ratio = disconnect_at as f64 / m as f64;
+
+    let curve = checkpoints
+        .iter()
+        .map(|&ratio| {
+            let k = ((ratio * m as f64).round() as usize).min(m);
+            let residual = g.without_edges(&order[..k]);
+            let dm = DistanceMatrix::build(&residual);
+            FailurePoint {
+                failure_ratio: ratio,
+                diameter: dm.diameter_reachable(),
+                aspl: dm.average_shortest_path(),
+                connected: dm.connected(),
+            }
+        })
+        .collect();
+
+    FailureTrial { disconnect_ratio, curve }
+}
+
+/// Runs `trials` seeded failure experiments (Rayon-parallel), returning
+/// `(median disconnect ratio, the trial realizing the median)`.
+/// `checkpoints` are evaluated only for the median trial — evaluating the
+/// full metric curve for all 100 trials would dominate runtime without
+/// changing the reported figure.
+pub fn median_failure_trial(g: &Csr, trials: usize, checkpoints: &[f64], seed: u64) -> (f64, FailureTrial) {
+    assert!(trials >= 1);
+    let mut ratios: Vec<(f64, u64)> = (0..trials as u64)
+        .into_par_iter()
+        .map(|t| {
+            let s = seed.wrapping_add(t.wrapping_mul(0xA24B_AED4_963E_E407));
+            let mut order: Vec<(u32, u32)> = g.edges().to_vec();
+            let mut rng = StdRng::seed_from_u64(s);
+            order.shuffle(&mut rng);
+            (disconnect_prefix(g, &order) as f64 / g.edge_count() as f64, s)
+        })
+        .collect();
+    ratios.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    let (median_ratio, median_seed) = ratios[trials / 2];
+    let trial = failure_trial(g, checkpoints, median_seed);
+    (median_ratio, trial)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::GraphBuilder;
+
+    fn ring_with_chords(n: usize) -> Csr {
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n as u32 {
+            b.add_edge(i, (i + 1) % n as u32);
+            b.add_edge(i, (i + 2) % n as u32);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn disconnect_prefix_on_tree_is_one() {
+        // Any single edge removal disconnects a tree.
+        let mut b = GraphBuilder::new(5);
+        for i in 1..5u32 {
+            b.add_edge(0, i);
+        }
+        let g = b.build();
+        let order = g.edges().to_vec();
+        assert_eq!(disconnect_prefix(&g, &order), 1);
+    }
+
+    #[test]
+    fn trial_curve_monotonicity() {
+        let g = ring_with_chords(24);
+        let t = failure_trial(&g, &[0.0, 0.2, 0.4], 3);
+        assert_eq!(t.curve.len(), 3);
+        assert!(t.curve[0].connected);
+        assert_eq!(t.curve[0].diameter, 6); // circulant C24(1,2) diameter
+        // ASPL can only grow (or stay) as links fail, while connected.
+        let connected: Vec<&FailurePoint> = t.curve.iter().filter(|p| p.connected).collect();
+        for w in connected.windows(2) {
+            assert!(w[1].aspl >= w[0].aspl - 1e-12);
+        }
+        assert!(t.disconnect_ratio > 0.0 && t.disconnect_ratio <= 1.0);
+    }
+
+    #[test]
+    fn median_is_deterministic() {
+        let g = ring_with_chords(16);
+        let (m1, _) = median_failure_trial(&g, 9, &[0.1], 7);
+        let (m2, _) = median_failure_trial(&g, 9, &[0.1], 7);
+        assert_eq!(m1, m2);
+    }
+}

@@ -1,0 +1,31 @@
+#![deny(missing_docs)]
+//! Graph-algorithms substrate for the PolarFly reproduction.
+//!
+//! Every structural experiment in the paper (diameter/ASPL measurements,
+//! bisection bandwidth, triangle censuses, fault tolerance, adversarial
+//! permutation construction, Jellyfish baselines) runs on the primitives in
+//! this crate:
+//!
+//! * [`csr`] — compressed-sparse-row undirected graphs and builders.
+//! * [`bfs`] — single-source / all-pairs BFS, diameter, average shortest
+//!   path length (APSP is Rayon-parallel across sources).
+//! * [`triangles`] — triangle counting and enumeration.
+//! * [`random_regular`] — seeded random k-regular graphs (Jellyfish).
+//! * [`matching`] — bipartite perfect matching (Perm1Hop/Perm2Hop traffic).
+//! * [`partition`] — balanced bisection: spectral (Fiedler) seeding plus
+//!   Fiduccia–Mattheyses refinement with restarts. Substitute for METIS.
+//! * [`spectral`] — adjacency-eigenvalue estimation: spectral gap,
+//!   Ramanujan check, Cheeger expansion bounds (§IX context).
+//! * [`failures`] — random link-failure trials (Fig. 14).
+
+pub mod bfs;
+pub mod csr;
+pub mod failures;
+pub mod matching;
+pub mod partition;
+pub mod random_regular;
+pub mod spectral;
+pub mod triangles;
+
+pub use bfs::DistanceMatrix;
+pub use csr::{Csr, GraphBuilder};

@@ -1,0 +1,179 @@
+//! Spectral expansion analysis.
+//!
+//! The paper attributes PolarFly's bisection bandwidth and fault tolerance
+//! to its expander structure ("PolarFly topology expands extremely well,
+//! enforcing an almost Moore Bound spanning tree view from each vertex",
+//! §IX-A). This module quantifies that: the second adjacency eigenvalue
+//! `λ₂` of a k-regular graph bounds both the edge expansion (Cheeger:
+//! `(k − λ₂)/2 ≤ h(G)`) and how close the graph is to Ramanujan
+//! (`λ₂ ≤ 2√(k−1)`). `ER_q`'s nontrivial eigenvalues are `±√q` — far
+//! inside the Ramanujan bound — which the tests verify numerically.
+//!
+//! Eigenvalues are estimated with power iteration plus deflation against
+//! previously found eigenvectors; ample for the regular, well-separated
+//! spectra of interconnect graphs.
+
+use crate::csr::Csr;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of a spectral analysis of a (near-)regular graph.
+#[derive(Debug, Clone)]
+pub struct Spectrum {
+    /// Largest adjacency eigenvalue (= degree for regular graphs).
+    pub lambda1: f64,
+    /// Second-largest eigenvalue by absolute value.
+    pub lambda2_abs: f64,
+    /// `2·√(k−1)` with `k = λ₁` — the Ramanujan threshold.
+    pub ramanujan_bound: f64,
+    /// Cheeger-style lower bound on edge expansion, `(k − |λ₂|)/2`.
+    pub expansion_lower_bound: f64,
+}
+
+impl Spectrum {
+    /// Whether the graph meets the Ramanujan condition `|λ₂| ≤ 2√(k−1)`.
+    pub fn is_ramanujan(&self) -> bool {
+        self.lambda2_abs <= self.ramanujan_bound + 1e-6
+    }
+}
+
+/// Multiplies the adjacency matrix: `y = A x`.
+fn adj_mul(g: &Csr, x: &[f64], y: &mut [f64]) {
+    for (v, slot) in y.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        for &w in g.neighbors(v as u32) {
+            acc += x[w as usize];
+        }
+        *slot = acc;
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn normalize(x: &mut [f64]) -> f64 {
+    let norm = dot(x, x).sqrt();
+    if norm > 0.0 {
+        for v in x.iter_mut() {
+            *v /= norm;
+        }
+    }
+    norm
+}
+
+/// Power iteration on `A²` (so both ends of the spectrum converge to the
+/// top) with deflation against `fixed`; returns `(|λ|, eigenvector)`.
+fn power_iteration(g: &Csr, fixed: &[Vec<f64>], iters: usize, rng: &mut StdRng) -> (f64, Vec<f64>) {
+    let n = g.vertex_count();
+    let mut x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let mut tmp = vec![0.0; n];
+    let mut y = vec![0.0; n];
+    let mut value = 0.0;
+    for _ in 0..iters {
+        for f in fixed {
+            let c = dot(&x, f);
+            for (xi, fi) in x.iter_mut().zip(f) {
+                *xi -= c * fi;
+            }
+        }
+        normalize(&mut x);
+        adj_mul(g, &x, &mut tmp);
+        adj_mul(g, &tmp, &mut y);
+        // Rayleigh quotient for A² gives λ²; track |λ|.
+        value = dot(&x, &y).max(0.0).sqrt();
+        std::mem::swap(&mut x, &mut y);
+    }
+    normalize(&mut x);
+    (value, x)
+}
+
+/// Estimates `λ₁` and `|λ₂|` of the adjacency matrix. Deterministic in
+/// `seed`; `iters` ≈ 300 suffices for the well-separated interconnect
+/// spectra used here.
+pub fn spectrum(g: &Csr, iters: usize, seed: u64) -> Spectrum {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (l1, v1) = power_iteration(g, &[], iters, &mut rng);
+    let (l2, _) = power_iteration(g, &[v1], iters, &mut rng);
+    let k = l1;
+    Spectrum {
+        lambda1: l1,
+        lambda2_abs: l2,
+        ramanujan_bound: 2.0 * (k - 1.0).max(0.0).sqrt(),
+        expansion_lower_bound: (k - l2) / 2.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::GraphBuilder;
+
+    fn complete(n: u32) -> Csr {
+        let mut b = GraphBuilder::new(n as usize);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                b.add_edge(u, v);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn complete_graph_spectrum() {
+        // K_n: λ₁ = n−1, all other eigenvalues −1.
+        let g = complete(12);
+        let s = spectrum(&g, 400, 1);
+        assert!((s.lambda1 - 11.0).abs() < 1e-3, "λ1 = {}", s.lambda1);
+        assert!((s.lambda2_abs - 1.0).abs() < 1e-2, "λ2 = {}", s.lambda2_abs);
+        assert!(s.is_ramanujan());
+    }
+
+    #[test]
+    fn cycle_spectrum() {
+        // Odd cycle C_n: λ₁ = 2; the largest |λ| among the rest is the
+        // most negative eigenvalue, 2cos(π(n−1)/n) → |λ₂| = 2cos(π/n).
+        // (Even cycles are bipartite with λ = −2, a degenerate case.)
+        let n = 15usize;
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n as u32 {
+            b.add_edge(i, (i + 1) % n as u32);
+        }
+        let s = spectrum(&b.build(), 3000, 2);
+        assert!((s.lambda1 - 2.0).abs() < 1e-3);
+        let expect = 2.0 * (std::f64::consts::PI / n as f64).cos();
+        assert!((s.lambda2_abs - expect).abs() < 1e-2, "λ2 = {}", s.lambda2_abs);
+    }
+
+    #[test]
+    fn petersen_is_ramanujan() {
+        // Petersen: spectrum {3, 1⁵, (−2)⁴}; 2√2 ≈ 2.83 > 2.
+        let mut b = GraphBuilder::new(10);
+        for i in 0..5u32 {
+            b.add_edge(i, (i + 1) % 5);
+            b.add_edge(5 + i, 5 + (i + 2) % 5);
+            b.add_edge(i, 5 + i);
+        }
+        let s = spectrum(&b.build(), 800, 3);
+        assert!((s.lambda1 - 3.0).abs() < 1e-3);
+        assert!((s.lambda2_abs - 2.0).abs() < 5e-2, "λ2 = {}", s.lambda2_abs);
+        assert!(s.is_ramanujan());
+    }
+
+    #[test]
+    fn dumbbell_is_a_poor_expander() {
+        // Two K_8s joined by one edge: λ₂ ≈ λ₁, expansion ≈ 0.
+        let mut b = GraphBuilder::new(16);
+        for base in [0u32, 8] {
+            for u in 0..8u32 {
+                for v in (u + 1)..8 {
+                    b.add_edge(base + u, base + v);
+                }
+            }
+        }
+        b.add_edge(0, 8);
+        let s = spectrum(&b.build(), 800, 4);
+        assert!(s.lambda2_abs > 0.9 * s.lambda1, "dumbbell should have tiny spectral gap");
+        assert!(s.expansion_lower_bound < 0.5);
+    }
+}

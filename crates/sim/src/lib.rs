@@ -1,0 +1,85 @@
+#![deny(missing_docs)]
+//! Cycle-accurate flit-level interconnection-network simulator — the
+//! BookSim substitute behind Figs. 8–11 of the PolarFly paper.
+//!
+//! The model mirrors the paper's §VIII-A methodology:
+//!
+//! * **Input-queued routers** with per-(port, VC) FIFO buffers (default
+//!   4 VCs, 128 flits per port), credit-based wormhole flow control, and a
+//!   single-iteration separable allocator (rotating-priority input VC
+//!   selection, then rotating-priority output arbitration) — one flit per
+//!   input port and per output link per cycle.
+//! * **Co-packaged nodes**: each router carries `p` endpoints; injection
+//!   and ejection are modelled as `p` flits/cycle of aggregate endpoint
+//!   bandwidth (1 flit/cycle per endpoint).
+//! * **4-flit packets** injected by a Bernoulli process; offered load is
+//!   the fraction of per-endpoint injection bandwidth.
+//! * **Deadlock freedom** by hop-indexed virtual channels: a packet uses
+//!   VC `h` on its `h`-th hop, so channel dependencies are acyclic for all
+//!   routing algorithms (≤ 4 hops with Valiant).
+//! * **Warmup / measurement / drain** phases; packet latency is
+//!   generation-to-tail-ejection, throughput is accepted flits per endpoint
+//!   cycle in the measurement window.
+//!
+//! Routing algorithms (§VII): table-based minimal, Valiant, Compact
+//! Valiant (random *neighbor* intermediate, ≤ 3 hops), UGAL-L, UGAL-PF
+//! (Compact Valiant + ⅔ buffer-occupancy threshold), and adaptive ECMP
+//! minimal routing which on a folded Clos is exactly fat-tree NCA routing.
+//!
+//! Differences from BookSim (documented in DESIGN.md): credits return with
+//! zero latency (shared-memory model), the router pipeline is a fixed
+//! per-hop delay rather than per-stage allocation, and endpoint channels
+//! are aggregated per router. These shift absolute zero-load latencies by a
+//! few cycles but preserve saturation points and ordering.
+
+pub mod analytic;
+pub mod engine;
+pub mod stats;
+pub mod sweep;
+pub mod tables;
+pub mod traffic;
+
+pub use analytic::{analyze, FluidAnalysis};
+pub use engine::{simulate, Engine, SimConfig};
+pub use stats::SimResult;
+pub use sweep::{load_curve, load_grid, LoadCurve};
+pub use tables::RouteTables;
+pub use traffic::TrafficPattern;
+
+/// Routing algorithm selector (§VII of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Routing {
+    /// Table-based minimal routing over a deterministic (seeded tie-break)
+    /// shortest-path next-hop table.
+    Min,
+    /// Adaptive minimal: at every hop choose, among the minimal next hops,
+    /// the output with most free downstream credits. On a fat tree this is
+    /// NCA routing; on direct networks it is adaptive ECMP.
+    MinAdaptive,
+    /// Valiant: minimal to a uniformly random intermediate router, then
+    /// minimal to the destination (≤ 4 hops on diameter-2 networks).
+    Valiant,
+    /// Compact Valiant (§VII-B): the intermediate is a random neighbor of
+    /// the source; used only when source and destination are not adjacent.
+    CompactValiant,
+    /// UGAL-L: per-packet choice between the minimal and a random-Valiant
+    /// path by comparing (queue length × hop count) at injection.
+    Ugal,
+    /// UGAL-PF (§VII-C): Compact-Valiant detours taken only when the
+    /// minimal output buffer is more than `ugal_pf_threshold` full.
+    UgalPf,
+}
+
+impl Routing {
+    /// Short label used in result tables (matches the paper's legends).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Routing::Min => "MIN",
+            Routing::MinAdaptive => "NCA",
+            Routing::Valiant => "VAL",
+            Routing::CompactValiant => "CVAL",
+            Routing::Ugal => "UGAL",
+            Routing::UgalPf => "UGALPF",
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Simulation results and latency statistics.
+
+/// Outcome of one simulation run at a fixed offered load.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Offered load as a fraction of per-endpoint injection bandwidth.
+    pub offered_load: f64,
+    /// Accepted throughput: flits ejected per endpoint per cycle during the
+    /// measurement window, in the same units as `offered_load`.
+    pub accepted_load: f64,
+    /// Mean generation-to-tail-ejection latency (cycles) over measured
+    /// packets that were delivered.
+    pub avg_latency: f64,
+    /// 99th-percentile latency (cycles) of delivered measured packets.
+    pub p99_latency: f64,
+    /// Mean hop count of delivered measured packets.
+    pub avg_hops: f64,
+    /// Measured packets generated in the measurement window.
+    pub generated: u64,
+    /// Measured packets delivered within the drain budget.
+    pub delivered: u64,
+    /// `true` when not all measured packets drained — the network is past
+    /// saturation at this offered load and `avg_latency` is a lower bound.
+    pub saturated: bool,
+}
+
+impl SimResult {
+    /// Delivered fraction of measured packets.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.generated == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.generated as f64
+        }
+    }
+}
+
+/// Online latency accumulator.
+#[derive(Debug, Default, Clone)]
+pub struct LatencyStats {
+    samples: Vec<u32>,
+    hop_sum: u64,
+}
+
+impl LatencyStats {
+    /// Records a delivered packet.
+    pub fn record(&mut self, latency: u32, hops: u32) {
+        self.samples.push(latency);
+        self.hop_sum += u64::from(hops);
+    }
+
+    /// Number of recorded packets.
+    pub fn count(&self) -> u64 {
+        self.samples.len() as u64
+    }
+
+    /// Mean latency (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().map(|&l| u64::from(l)).sum::<u64>() as f64 / self.samples.len() as f64
+        }
+    }
+
+    /// Mean hop count (0 if empty).
+    pub fn mean_hops(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.hop_sum as f64 / self.samples.len() as f64
+        }
+    }
+
+    /// The `pct` percentile (e.g. 0.99) of recorded latencies.
+    pub fn percentile(&mut self, pct: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let idx = ((self.samples.len() as f64 - 1.0) * pct).round() as usize;
+        let (_, v, _) = self.samples.select_nth_unstable(idx);
+        f64::from(*v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_stats_basics() {
+        let mut s = LatencyStats::default();
+        for (l, h) in [(10u32, 2u32), (20, 2), (30, 3)] {
+            s.record(l, h);
+        }
+        assert_eq!(s.count(), 3);
+        assert!((s.mean() - 20.0).abs() < 1e-12);
+        assert!((s.mean_hops() - 7.0 / 3.0).abs() < 1e-12);
+        assert!((s.percentile(0.99) - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let mut s = LatencyStats::default();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.percentile(0.5), 0.0);
+    }
+}

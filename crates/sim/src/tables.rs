@@ -1,0 +1,144 @@
+//! Routing tables: all-pairs distances plus a deterministic minimal
+//! next-hop table with seeded random tie-breaking (as BookSim's table-based
+//! routing does, avoiding the systematic hotspots a lowest-id tie-break
+//! would create on topologies with equal-cost path multiplicity).
+
+use pf_graph::{bfs, Csr};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// Dense distance + next-hop tables for one topology.
+pub struct RouteTables {
+    n: usize,
+    dist: Vec<u8>,
+    next: Vec<u32>,
+}
+
+impl RouteTables {
+    /// Builds tables with one BFS per destination (Rayon-parallel).
+    /// `next[s·N + d]` is a minimal next hop from `s` toward `d`, chosen
+    /// uniformly (seeded) among the equal-cost candidates.
+    pub fn build(g: &Csr, seed: u64) -> RouteTables {
+        let n = g.vertex_count();
+        // For each destination d: dist_to_d[s]; next hop = any neighbor w
+        // of s with dist_to_d[w] = dist_to_d[s] − 1.
+        let per_dest: Vec<(Vec<u8>, Vec<u32>)> = (0..n as u32)
+            .into_par_iter()
+            .map(|d| {
+                let dist = bfs::bfs_distances(g, d);
+                let mut rng = StdRng::seed_from_u64(seed ^ (u64::from(d) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let next: Vec<u32> = (0..n as u32)
+                    .map(|s| {
+                        if s == d || dist[s as usize] == bfs::UNREACHABLE {
+                            return s;
+                        }
+                        let want = dist[s as usize] - 1;
+                        let mut chosen = s;
+                        let mut seen = 0u32;
+                        for &w in g.neighbors(s) {
+                            if dist[w as usize] == want {
+                                seen += 1;
+                                // Reservoir sampling: uniform among candidates.
+                                if rng.gen_range(0..seen) == 0 {
+                                    chosen = w;
+                                }
+                            }
+                        }
+                        debug_assert_ne!(chosen, s, "no minimal next hop found");
+                        chosen
+                    })
+                    .collect();
+                (dist, next)
+            })
+            .collect();
+
+        let mut dist = vec![0u8; n * n];
+        let mut next = vec![0u32; n * n];
+        for (d, (dd, nn)) in per_dest.into_iter().enumerate() {
+            for s in 0..n {
+                dist[s * n + d] = dd[s];
+                next[s * n + d] = nn[s];
+            }
+        }
+        RouteTables { n, dist, next }
+    }
+
+    /// Number of routers.
+    #[inline]
+    pub fn router_count(&self) -> usize {
+        self.n
+    }
+
+    /// Hop distance from `s` to `d`.
+    #[inline]
+    pub fn dist(&self, s: u32, d: u32) -> u32 {
+        u32::from(self.dist[s as usize * self.n + d as usize])
+    }
+
+    /// The table's minimal next hop from `s` toward `d` (`s` if `s == d`).
+    #[inline]
+    pub fn next_hop(&self, s: u32, d: u32) -> u32 {
+        self.next[s as usize * self.n + d as usize]
+    }
+
+    /// All minimal next hops from `s` toward `d` (for adaptive ECMP / NCA).
+    pub fn min_next_hops<'a>(&'a self, g: &'a Csr, s: u32, d: u32) -> impl Iterator<Item = u32> + 'a {
+        let want = self.dist(s, d).wrapping_sub(1);
+        g.neighbors(s).iter().copied().filter(move |&w| self.dist(w, d) == want)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pf_graph::GraphBuilder;
+
+    fn ring(n: usize) -> Csr {
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n as u32 {
+            b.add_edge(i, (i + 1) % n as u32);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn next_hop_decreases_distance() {
+        let g = ring(9);
+        let t = RouteTables::build(&g, 1);
+        for s in 0..9u32 {
+            for d in 0..9u32 {
+                if s == d {
+                    assert_eq!(t.next_hop(s, d), s);
+                    continue;
+                }
+                let nh = t.next_hop(s, d);
+                assert!(g.has_edge(s, nh));
+                assert_eq!(t.dist(nh, d), t.dist(s, d) - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn ecmp_enumeration() {
+        // On an even ring, the antipodal pair has two minimal next hops.
+        let g = ring(8);
+        let t = RouteTables::build(&g, 3);
+        let hops: Vec<u32> = t.min_next_hops(&g, 0, 4).collect();
+        assert_eq!(hops.len(), 2);
+        let single: Vec<u32> = t.min_next_hops(&g, 0, 1).collect();
+        assert_eq!(single, vec![1]);
+    }
+
+    #[test]
+    fn tie_break_is_seed_deterministic() {
+        let g = ring(8);
+        let a = RouteTables::build(&g, 42);
+        let b = RouteTables::build(&g, 42);
+        for s in 0..8u32 {
+            for d in 0..8u32 {
+                assert_eq!(a.next_hop(s, d), b.next_hop(s, d));
+            }
+        }
+    }
+}

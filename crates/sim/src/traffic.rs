@@ -1,0 +1,285 @@
+//! Traffic patterns of §VIII-A.
+//!
+//! Patterns operate at *router* granularity (the paper's co-packaged
+//! convention: under permutations, all endpoints of a router send to
+//! endpoints of a single other router). Hosts are the routers with
+//! endpoints attached — every router in direct topologies, edge switches
+//! in the fat tree.
+
+use pf_graph::{bfs, matching, Csr};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A traffic pattern from the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrafficPattern {
+    /// Each packet picks a destination router uniformly at random.
+    Uniform,
+    /// Host `i` sends to host `(i + H/2) mod H` (§VIII-A "halfway across").
+    Tornado,
+    /// A fixed random permutation (derangement) of hosts.
+    RandomPermutation,
+    /// A permutation in which every router's destination is a 1-hop
+    /// neighbor: min-paths of 1 hop, UGAL-PF Valiant paths of 4 hops.
+    Perm1Hop,
+    /// A permutation with destinations at exactly 2 hops.
+    Perm2Hop,
+    /// Bit-complement: host `i` sends to host `H − 1 − i` (classic
+    /// BookSim pattern; adversarial for meshes, benign for low-diameter
+    /// graphs).
+    BitComplement,
+    /// Transpose: writing the host index as `(row, col)` of the nearest
+    /// square, host `(r, c)` sends to `(c, r)` (fixed points send to the
+    /// bit-complement instead to keep the map a permutation of senders).
+    Transpose,
+    /// Perfect shuffle: host `i` sends to `(2i) mod (H − 1)` (`H − 1`
+    /// maps to itself and falls back to bit-complement).
+    Shuffle,
+}
+
+impl TrafficPattern {
+    /// Short label used in result tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TrafficPattern::Uniform => "uniform",
+            TrafficPattern::Tornado => "tornado",
+            TrafficPattern::RandomPermutation => "randperm",
+            TrafficPattern::Perm1Hop => "perm1hop",
+            TrafficPattern::Perm2Hop => "perm2hop",
+            TrafficPattern::BitComplement => "bitcomp",
+            TrafficPattern::Transpose => "transpose",
+            TrafficPattern::Shuffle => "shuffle",
+        }
+    }
+}
+
+/// A resolved traffic pattern: destination selection per source router.
+pub enum DestMap {
+    /// Uniform-random among `hosts` (excluding the source).
+    Uniform {
+        /// Routers with endpoints attached, ascending.
+        hosts: Vec<u32>,
+    },
+    /// A fixed destination per source router.
+    Fixed {
+        /// `dest[r]` for every host router `r` (`u32::MAX` for non-hosts).
+        dest: Vec<u32>,
+    },
+}
+
+impl DestMap {
+    /// Destination router for a packet sourced at host `src`.
+    #[inline]
+    pub fn pick<R: Rng>(&self, src: u32, rng: &mut R) -> u32 {
+        match self {
+            DestMap::Uniform { hosts } => loop {
+                let d = hosts[rng.gen_range(0..hosts.len())];
+                if d != src {
+                    return d;
+                }
+            },
+            DestMap::Fixed { dest } => dest[src as usize],
+        }
+    }
+}
+
+/// Resolves a pattern against a topology graph and its host list.
+///
+/// Permutation patterns are seeded; `Perm1Hop`/`Perm2Hop` require a
+/// perfect matching in the "exactly h hops" bipartite graph and panic if
+/// the topology cannot realize one (the paper only uses them on PolarFly).
+pub fn resolve(pattern: TrafficPattern, g: &Csr, hosts: &[u32], seed: u64) -> DestMap {
+    let n = g.vertex_count();
+    match pattern {
+        TrafficPattern::Uniform => DestMap::Uniform { hosts: hosts.to_vec() },
+        TrafficPattern::Tornado => {
+            let h = hosts.len();
+            assert!(h >= 2, "tornado needs at least two hosts");
+            let mut dest = vec![u32::MAX; n];
+            for (i, &r) in hosts.iter().enumerate() {
+                dest[r as usize] = hosts[(i + h / 2) % h];
+            }
+            DestMap::Fixed { dest }
+        }
+        TrafficPattern::RandomPermutation => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let h = hosts.len();
+            // Random derangement by rejection (expected ~e tries).
+            let perm = loop {
+                let mut p: Vec<usize> = (0..h).collect();
+                p.shuffle(&mut rng);
+                if p.iter().enumerate().all(|(i, &j)| i != j) {
+                    break p;
+                }
+            };
+            let mut dest = vec![u32::MAX; n];
+            for (i, &r) in hosts.iter().enumerate() {
+                dest[r as usize] = hosts[perm[i]];
+            }
+            DestMap::Fixed { dest }
+        }
+        TrafficPattern::BitComplement => {
+            let h = hosts.len();
+            let mut dest = vec![u32::MAX; n];
+            for (i, &r) in hosts.iter().enumerate() {
+                let j = h - 1 - i;
+                dest[r as usize] = if j == i { hosts[(i + h / 2) % h] } else { hosts[j] };
+            }
+            DestMap::Fixed { dest }
+        }
+        TrafficPattern::Transpose => {
+            let h = hosts.len();
+            let side = (h as f64).sqrt().floor() as usize;
+            let mut dest = vec![u32::MAX; n];
+            for (i, &r) in hosts.iter().enumerate() {
+                let j = if i < side * side {
+                    let (row, col) = (i / side, i % side);
+                    col * side + row
+                } else {
+                    i
+                };
+                let j = if j == i { h - 1 - i } else { j };
+                let j = if j == i { (i + h / 2) % h } else { j };
+                dest[r as usize] = hosts[j];
+            }
+            DestMap::Fixed { dest }
+        }
+        TrafficPattern::Shuffle => {
+            let h = hosts.len();
+            let mut dest = vec![u32::MAX; n];
+            for (i, &r) in hosts.iter().enumerate() {
+                let j = if i == h - 1 { i } else { (2 * i) % (h - 1) };
+                let j = if j == i { h - 1 - i } else { j };
+                let j = if j == i { (i + h / 2) % h } else { j };
+                dest[r as usize] = hosts[j];
+            }
+            DestMap::Fixed { dest }
+        }
+        TrafficPattern::Perm1Hop | TrafficPattern::Perm2Hop => {
+            let want = if pattern == TrafficPattern::Perm1Hop { 1 } else { 2 };
+            let host_index: std::collections::HashMap<u32, u32> =
+                hosts.iter().enumerate().map(|(i, &r)| (r, i as u32)).collect();
+            let allowed: Vec<Vec<u32>> = hosts
+                .iter()
+                .map(|&r| {
+                    let d = bfs::bfs_distances(g, r);
+                    hosts
+                        .iter()
+                        .filter(|&&t| u32::from(d[t as usize]) == want)
+                        .map(|&t| host_index[&t])
+                        .collect()
+                })
+                .collect();
+            let m = matching::random_perfect_matching(hosts.len(), &allowed, seed)
+                .unwrap_or_else(|| panic!("no {}-hop permutation exists for this topology", want));
+            let mut dest = vec![u32::MAX; n];
+            for (i, &r) in hosts.iter().enumerate() {
+                dest[r as usize] = hosts[m[i] as usize];
+            }
+            DestMap::Fixed { dest }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pf_graph::GraphBuilder;
+
+    fn ring(n: usize) -> Csr {
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n as u32 {
+            b.add_edge(i, (i + 1) % n as u32);
+        }
+        b.build()
+    }
+
+    fn hosts(n: usize) -> Vec<u32> {
+        (0..n as u32).collect()
+    }
+
+    #[test]
+    fn tornado_is_antipodal() {
+        let g = ring(8);
+        let dm = resolve(TrafficPattern::Tornado, &g, &hosts(8), 0);
+        let mut rng = StdRng::seed_from_u64(0);
+        for i in 0..8u32 {
+            assert_eq!(dm.pick(i, &mut rng), (i + 4) % 8);
+        }
+    }
+
+    #[test]
+    fn random_permutation_is_derangement() {
+        let g = ring(10);
+        let dm = resolve(TrafficPattern::RandomPermutation, &g, &hosts(10), 5);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut seen = vec![false; 10];
+        for i in 0..10u32 {
+            let d = dm.pick(i, &mut rng);
+            assert_ne!(d, i);
+            assert!(!seen[d as usize]);
+            seen[d as usize] = true;
+        }
+    }
+
+    #[test]
+    fn perm_hops_have_exact_distance() {
+        let g = ring(12);
+        for (pat, want) in [(TrafficPattern::Perm1Hop, 1u8), (TrafficPattern::Perm2Hop, 2)] {
+            let dm = resolve(pat, &g, &hosts(12), 3);
+            let mut rng = StdRng::seed_from_u64(0);
+            for i in 0..12u32 {
+                let d = dm.pick(i, &mut rng);
+                assert_eq!(bfs::bfs_distances(&g, i)[d as usize], want, "{pat:?} host {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn bit_complement_is_an_involution_without_fixed_points() {
+        let g = ring(10);
+        let dm = resolve(TrafficPattern::BitComplement, &g, &hosts(10), 0);
+        let mut rng = StdRng::seed_from_u64(0);
+        for i in 0..10u32 {
+            let d = dm.pick(i, &mut rng);
+            assert_ne!(d, i, "fixed point at {i}");
+            if d == 10 - 1 - i {
+                assert_eq!(dm.pick(d, &mut rng), i, "not an involution at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_and_shuffle_have_no_self_sends() {
+        let g = ring(16);
+        for pat in [TrafficPattern::Transpose, TrafficPattern::Shuffle] {
+            let dm = resolve(pat, &g, &hosts(16), 0);
+            let mut rng = StdRng::seed_from_u64(0);
+            for i in 0..16u32 {
+                assert_ne!(dm.pick(i, &mut rng), i, "{pat:?} self-send at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_swaps_square_coordinates() {
+        let g = ring(16); // 4x4 square
+        let dm = resolve(TrafficPattern::Transpose, &g, &hosts(16), 0);
+        let mut rng = StdRng::seed_from_u64(0);
+        // (row 1, col 2) = 6 -> (row 2, col 1) = 9
+        assert_eq!(dm.pick(6, &mut rng), 9);
+        assert_eq!(dm.pick(9, &mut rng), 6);
+    }
+
+    #[test]
+    fn uniform_never_self_targets() {
+        let g = ring(6);
+        let dm = resolve(TrafficPattern::Uniform, &g, &hosts(6), 0);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let d = dm.pick(2, &mut rng);
+            assert_ne!(d, 2);
+        }
+    }
+}

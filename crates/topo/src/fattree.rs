@@ -1,0 +1,177 @@
+//! Three-level folded-Clos fat tree (Leiserson'85 as deployed in practice).
+//!
+//! The Table V configuration `n = 3, k = 18` is a 3-stage folded Clos built
+//! from radix-`2k` switches: `k²` edge, `k²` aggregation, and `k²` core
+//! switches (the core uses only `k` of its ports), `3k² = 972` switches
+//! total for `k = 18`. Each of the `k` pods holds `k` edge and `k`
+//! aggregation switches in a complete bipartite pattern; aggregation switch
+//! `j` of every pod connects to the core block `j·k … j·k + k − 1`. Hosts
+//! (`k` per edge switch) attach only at the edge level, making this the one
+//! *indirect* topology in the comparison.
+//!
+//! Nearest-common-ancestor (NCA) routing corresponds exactly to adaptive
+//! ECMP over shortest paths in this graph: up-hops have `k` equal-cost
+//! choices, down-paths are unique.
+
+use crate::traits::Topology;
+use pf_graph::{Csr, GraphBuilder};
+
+/// Switch level within the fat tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// Leaf level — hosts attach here.
+    Edge,
+    /// Middle (pod) level.
+    Aggregation,
+    /// Top (spine) level; uses half its radix.
+    Core,
+}
+
+/// A 3-level folded-Clos fat tree.
+pub struct FatTree {
+    k: u32,
+    graph: Csr,
+}
+
+impl FatTree {
+    /// Builds the 3-level folded Clos with half-radix `k` (switch radix
+    /// `2k`): `k` pods, `3k²` switches, `k³` hosts.
+    pub fn new(k: u32) -> FatTree {
+        assert!(k >= 2);
+        let n = (3 * k * k) as usize;
+        let mut b = GraphBuilder::new(n);
+        let edge = |pod: u32, i: u32| pod * k + i;
+        let agg = |pod: u32, j: u32| k * k + pod * k + j;
+        let core = |j: u32, c: u32| 2 * k * k + j * k + c;
+        for pod in 0..k {
+            for i in 0..k {
+                for j in 0..k {
+                    b.add_edge(edge(pod, i), agg(pod, j));
+                }
+            }
+            for j in 0..k {
+                for c in 0..k {
+                    b.add_edge(agg(pod, j), core(j, c));
+                }
+            }
+        }
+        FatTree { k, graph: b.build() }
+    }
+
+    /// The Table V instance: `k = 18` → 972 switches, radix 36, 5 832 hosts.
+    pub fn table_v() -> FatTree {
+        FatTree::new(18)
+    }
+
+    /// Half radix `k`.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Level of switch `r`.
+    pub fn level(&self, r: u32) -> Level {
+        let kk = self.k * self.k;
+        match r / kk {
+            0 => Level::Edge,
+            1 => Level::Aggregation,
+            _ => Level::Core,
+        }
+    }
+
+    /// Pod of an edge or aggregation switch.
+    pub fn pod(&self, r: u32) -> Option<u32> {
+        let kk = self.k * self.k;
+        match r / kk {
+            0 => Some(r / self.k),
+            1 => Some((r - kk) / self.k),
+            _ => None,
+        }
+    }
+}
+
+impl Topology for FatTree {
+    fn name(&self) -> String {
+        format!("FT(n=3,k={})", self.k)
+    }
+
+    fn graph(&self) -> &Csr {
+        &self.graph
+    }
+
+    fn endpoints(&self, r: u32) -> usize {
+        // Hosts attach only to edge switches, k per switch.
+        if self.level(r) == Level::Edge {
+            self.k as usize
+        } else {
+            0
+        }
+    }
+
+    fn is_direct(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pf_graph::{bfs, DistanceMatrix};
+
+    #[test]
+    fn small_fat_tree_structure() {
+        let ft = FatTree::new(3);
+        assert_eq!(ft.router_count(), 27);
+        // Edge/agg degree k (up) + hosts on edge; core degree k.
+        for r in 0..ft.router_count() as u32 {
+            match ft.level(r) {
+                Level::Edge => assert_eq!(ft.graph().degree(r), 3),
+                Level::Aggregation => assert_eq!(ft.graph().degree(r), 6),
+                Level::Core => assert_eq!(ft.graph().degree(r), 3),
+            }
+        }
+        assert!(ft.graph().is_connected());
+    }
+
+    #[test]
+    fn edge_to_edge_distances() {
+        let ft = FatTree::new(4);
+        let dm = DistanceMatrix::build(ft.graph());
+        for a in 0..16u32 {
+            for b in 0..16u32 {
+                if a == b {
+                    continue;
+                }
+                let expect = if ft.pod(a) == ft.pod(b) { 2 } else { 4 };
+                assert_eq!(u32::from(dm.get(a, b)), expect, "edge {a}->{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn table_v_configuration() {
+        let ft = FatTree::table_v();
+        assert_eq!(ft.router_count(), 972);
+        assert_eq!(ft.total_endpoints(), 18 * 18 * 18);
+        assert_eq!(ft.host_routers().len(), 324);
+        assert!(!ft.is_direct());
+        assert_eq!(bfs::diameter(ft.graph()), Some(4));
+    }
+
+    #[test]
+    fn up_paths_have_k_way_ecmp() {
+        // Every edge switch reaches any other pod's edge switch through k
+        // distinct aggregation choices (the NCA diversity the simulator's
+        // adaptive routing exploits).
+        let ft = FatTree::new(3);
+        let g = ft.graph();
+        let a = 0u32; // edge switch, pod 0
+        let b = 8u32; // edge switch, pod 2
+        let dm = DistanceMatrix::build(g);
+        let choices = g
+            .neighbors(a)
+            .iter()
+            .filter(|&&w| u32::from(dm.get(w, b)) == u32::from(dm.get(a, b)) - 1)
+            .count();
+        assert_eq!(choices, 3);
+    }
+}

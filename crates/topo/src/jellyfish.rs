@@ -1,0 +1,70 @@
+//! Jellyfish (Singla et al., NSDI'12) — switches wired as a seeded random
+//! regular graph. The paper uses it as the random-expander baseline
+//! (Table V: 993 routers of radix 32, mirroring the PolarFly scale).
+
+use crate::traits::Topology;
+use pf_graph::{random_regular, Csr};
+
+/// A Jellyfish (random regular) instance.
+pub struct Jellyfish {
+    graph: Csr,
+    k: usize,
+    p: usize,
+    seed: u64,
+}
+
+impl Jellyfish {
+    /// Builds a connected random `k`-regular network on `n` routers with
+    /// `p` endpoints each. Deterministic in `seed`.
+    pub fn new(n: usize, k: usize, p: usize, seed: u64) -> Jellyfish {
+        Jellyfish { graph: random_regular::random_regular(n, k, seed), k, p, seed }
+    }
+
+    /// The Table V configuration: 993 routers, network radix 32, p = 16.
+    pub fn table_v(seed: u64) -> Jellyfish {
+        Jellyfish::new(993, 32, 16, seed)
+    }
+
+    /// Network radix.
+    pub fn degree(&self) -> usize {
+        self.k
+    }
+}
+
+impl Topology for Jellyfish {
+    fn name(&self) -> String {
+        format!("JF(n={},k={},p={},s={})", self.graph.vertex_count(), self.k, self.p, self.seed)
+    }
+
+    fn graph(&self) -> &Csr {
+        &self.graph
+    }
+
+    fn endpoints(&self, _r: u32) -> usize {
+        self.p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pf_graph::bfs;
+
+    #[test]
+    fn table_v_configuration() {
+        let jf = Jellyfish::table_v(7);
+        assert_eq!(jf.router_count(), 993);
+        assert!(jf.graph().is_regular(32));
+        assert!(jf.graph().is_connected());
+        // Random 32-regular graphs on 993 vertices have diameter 2-3 w.h.p.
+        let d = bfs::diameter(jf.graph()).unwrap();
+        assert!((2..=3).contains(&d), "unexpected diameter {d}");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = Jellyfish::new(100, 6, 2, 3);
+        let b = Jellyfish::new(100, 6, 2, 3);
+        assert_eq!(a.graph().edges(), b.graph().edges());
+    }
+}

@@ -1,0 +1,138 @@
+//! Multi-Layer Full Mesh (MLFM) — Kathareios et al., SC'15 (Table I
+//! candidate).
+//!
+//! An MLFM replicates a full mesh of `m` switches across `l` layers; every
+//! *host group* owns one switch position and attaches one NIC to its
+//! switch in each layer. Host-to-host traffic goes up into any layer,
+//! crosses at most one mesh link, and comes back down — host-level
+//! diameter 2 — and the layers multiply bandwidth without increasing
+//! switch radix.
+//!
+//! The layers are mutually disconnected at the switch level (they are
+//! bridged only through multi-homed hosts), which is exactly why Table I
+//! scores MLFM "not expandable" and only partially flexible, and why it
+//! cannot be driven by the single-NIC flit simulator here. The module
+//! models the structure: per-layer graphs, the host-level logical
+//! multigraph, and the scale/cost accounting used in feasibility
+//! comparisons.
+
+use pf_graph::{Csr, GraphBuilder};
+
+/// A Multi-Layer Full Mesh configuration.
+pub struct Mlfm {
+    /// Switches per layer (mesh size).
+    pub m: u32,
+    /// Number of layers.
+    pub layers: u32,
+    /// Host-facing ports per switch.
+    pub hosts_per_switch: u32,
+}
+
+impl Mlfm {
+    /// An MLFM with `m` switches per layer, `l` layers, and `h` host ports
+    /// per switch. Switch radix is `(m − 1) + h`.
+    pub fn new(m: u32, layers: u32, hosts_per_switch: u32) -> Mlfm {
+        assert!(m >= 2 && layers >= 1 && hosts_per_switch >= 1);
+        Mlfm { m, layers, hosts_per_switch }
+    }
+
+    /// Balanced MLFM for a given switch radix `k`: `m = k/2 + 1` switches
+    /// of which `k/2` ports face hosts (the SC'15 sizing).
+    pub fn balanced(k: u32) -> Mlfm {
+        assert!(k >= 4 && k % 2 == 0);
+        Mlfm::new(k / 2 + 1, 2, k / 2)
+    }
+
+    /// Switch radix `(m − 1) + hosts_per_switch`.
+    pub fn radix(&self) -> u32 {
+        self.m - 1 + self.hosts_per_switch
+    }
+
+    /// Total switches `m · layers`.
+    pub fn switch_count(&self) -> usize {
+        (self.m * self.layers) as usize
+    }
+
+    /// Host groups (`m`), each with `layers` NICs.
+    pub fn host_groups(&self) -> u32 {
+        self.m
+    }
+
+    /// Total hosts: each switch serves `hosts_per_switch` NICs, but a host
+    /// consumes one NIC per layer, so hosts = m·hosts_per_switch.
+    pub fn host_count(&self) -> usize {
+        (self.m * self.hosts_per_switch) as usize
+    }
+
+    /// One layer's switch graph: the complete graph `K_m`.
+    pub fn layer_graph(&self) -> Csr {
+        let mut b = GraphBuilder::new(self.m as usize);
+        for u in 0..self.m {
+            for v in (u + 1)..self.m {
+                b.add_edge(u, v);
+            }
+        }
+        b.build()
+    }
+
+    /// The host-group-level logical graph: `K_m` where each edge carries
+    /// `layers` parallel links. Returned as `(simple graph, multiplicity)`.
+    pub fn logical_graph(&self) -> (Csr, u32) {
+        (self.layer_graph(), self.layers)
+    }
+
+    /// Host-level diameter: 2 switch hops (up, at most one mesh hop, down)
+    /// whenever both hosts exist; 0 mesh hops for same-group pairs.
+    pub fn host_diameter(&self) -> u32 {
+        2
+    }
+
+    /// Bisection links of the logical graph: `layers · ⌈m/2⌉·⌊m/2⌋` mesh
+    /// links cross any balanced cut of host groups.
+    pub fn bisection_links(&self) -> u64 {
+        u64::from(self.layers) * u64::from(self.m / 2) * u64::from(self.m.div_ceil(2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pf_graph::bfs;
+
+    #[test]
+    fn balanced_sizing() {
+        let mlfm = Mlfm::balanced(32);
+        assert_eq!(mlfm.m, 17);
+        assert_eq!(mlfm.hosts_per_switch, 16);
+        assert_eq!(mlfm.radix(), 32);
+        assert_eq!(mlfm.switch_count(), 34);
+        assert_eq!(mlfm.host_count(), 17 * 16);
+    }
+
+    #[test]
+    fn layer_is_a_clique() {
+        let mlfm = Mlfm::new(6, 3, 4);
+        let g = mlfm.layer_graph();
+        assert!(g.is_regular(5));
+        assert_eq!(bfs::diameter(&g), Some(1));
+        assert_eq!(mlfm.host_diameter(), 2);
+    }
+
+    #[test]
+    fn logical_multigraph_multiplicity() {
+        let mlfm = Mlfm::new(5, 4, 2);
+        let (g, mult) = mlfm.logical_graph();
+        assert_eq!(mult, 4);
+        assert_eq!(g.edge_count(), 10); // C(5,2)
+        assert_eq!(mlfm.bisection_links(), 4 * 2 * 3);
+    }
+
+    #[test]
+    fn scale_lags_polarfly_badly() {
+        // At radix 32: MLFM hosts 272 vs PolarFly's 993 routers × 16
+        // endpoints — the Moore-bound gap §III leans on.
+        let mlfm = Mlfm::balanced(32);
+        let pf = polarfly::PolarFly::new(31).unwrap();
+        assert!(mlfm.host_count() < pf.router_count());
+    }
+}

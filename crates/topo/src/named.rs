@@ -1,0 +1,84 @@
+//! The two known diameter-2 Moore graphs: Petersen (degree 3, 10 vertices)
+//! and Hoffman–Singleton (degree 7, 50 vertices). They are the only
+//! diameter-2 topologies that meet the Moore bound exactly (degree 57 is
+//! open), plotted as reference points in Fig. 2.
+
+use pf_graph::{Csr, GraphBuilder};
+
+/// The Petersen graph: outer 5-cycle, inner pentagram, spokes.
+pub fn petersen() -> Csr {
+    let mut b = GraphBuilder::new(10);
+    for i in 0..5u32 {
+        b.add_edge(i, (i + 1) % 5); // outer cycle
+        b.add_edge(5 + i, 5 + (i + 2) % 5); // inner pentagram
+        b.add_edge(i, 5 + i); // spokes
+    }
+    b.build()
+}
+
+/// The Hoffman–Singleton graph via the classical pentagon/pentagram
+/// construction: pentagons `P_0..P_4` (vertices `25·0 + 5h + j`) and
+/// pentagrams `Q_0..Q_4` (vertices `25 + 5i + j`); vertex `j` of `P_h`
+/// joins vertex `(h·i + j) mod 5` of `Q_i`.
+pub fn hoffman_singleton() -> Csr {
+    let p = |h: u32, j: u32| 5 * h + j % 5;
+    let q = |i: u32, j: u32| 25 + 5 * i + j % 5;
+    let mut b = GraphBuilder::new(50);
+    for h in 0..5u32 {
+        for j in 0..5u32 {
+            b.add_edge(p(h, j), p(h, j + 1)); // pentagon: step 1
+            b.add_edge(q(h, j), q(h, j + 2)); // pentagram: step 2
+        }
+    }
+    for h in 0..5u32 {
+        for i in 0..5u32 {
+            for j in 0..5u32 {
+                b.add_edge(p(h, j), q(i, h * i + j));
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pf_graph::bfs;
+
+    fn is_moore_graph(g: &Csr, k: usize) -> bool {
+        // Degree-k diameter-2 Moore graph: k-regular, 1+k² vertices, girth
+        // 5 (adjacent pairs share 0 neighbors, non-adjacent exactly 1).
+        if !g.is_regular(k) || g.vertex_count() != 1 + k * k {
+            return false;
+        }
+        let n = g.vertex_count() as u32;
+        for u in 0..n {
+            for v in (u + 1)..n {
+                let common = g
+                    .neighbors(u)
+                    .iter()
+                    .filter(|&&w| g.neighbors(v).binary_search(&w).is_ok())
+                    .count();
+                let expect = if g.has_edge(u, v) { 0 } else { 1 };
+                if common != expect {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn petersen_is_the_degree_3_moore_graph() {
+        let g = petersen();
+        assert!(is_moore_graph(&g, 3));
+        assert_eq!(bfs::diameter(&g), Some(2));
+    }
+
+    #[test]
+    fn hoffman_singleton_is_the_degree_7_moore_graph() {
+        let g = hoffman_singleton();
+        assert!(is_moore_graph(&g, 7));
+        assert_eq!(bfs::diameter(&g), Some(2));
+    }
+}

@@ -1,0 +1,149 @@
+//! Two-level Orthogonal Fat Tree (OFT) — Kathareios et al., SC'15
+//! (Table I candidate).
+//!
+//! The 2-level OFT is the indirect cousin of PolarFly: leaf switches are
+//! the *points* and spine switches the *lines* of `PG(2, q)`, wired by
+//! incidence — i.e. the bipartite graph `B(q)` of paper §IV-E1, *without*
+//! the polarity quotient. Every pair of leaves shares exactly one spine,
+//! so host-to-host traffic crosses exactly two switch hops; with `q + 1`
+//! hosts per leaf the leaf radix is `2(q + 1)` and the network supports
+//! `(q² + q + 1)(q + 1)` hosts at full bisection.
+//!
+//! Relative to PolarFly at the same radix the OFT needs **twice** the
+//! switches (points *and* lines) and a second chip type (spines carry no
+//! hosts) — the cost §III charges indirect topologies with.
+
+use crate::traits::Topology;
+use pf_galois::{Gf, GfError, ProjectivePlane};
+use pf_graph::{Csr, GraphBuilder};
+
+/// A two-level OFT instance built over `PG(2, q)`.
+pub struct Oft {
+    q: u32,
+    graph: Csr,
+    side: usize,
+}
+
+impl Oft {
+    /// Builds the OFT for prime power `q`: `q² + q + 1` leaves (hosts
+    /// attached) and as many spines.
+    pub fn new(q: u64) -> Result<Self, GfError> {
+        let plane = ProjectivePlane::new(Gf::new(q)?);
+        let n = plane.point_count();
+        let mut b = GraphBuilder::new(2 * n);
+        for line_idx in 0..n {
+            let line = plane.point(line_idx);
+            for point_idx in plane.points_on_line(&line) {
+                b.add_edge(point_idx as u32, (n + line_idx) as u32);
+            }
+        }
+        Ok(Oft { q: plane.field().order(), graph: b.build(), side: n })
+    }
+
+    /// The construction parameter `q`.
+    pub fn q(&self) -> u32 {
+        self.q
+    }
+
+    /// Leaf (or spine) count, `q² + q + 1`.
+    pub fn leaves(&self) -> usize {
+        self.side
+    }
+
+    /// Leaf switch radix including host ports, `2(q + 1)`.
+    pub fn leaf_radix(&self) -> u32 {
+        2 * (self.q + 1)
+    }
+
+    /// Whether `r` is a leaf (hosts attach only to leaves).
+    pub fn is_leaf(&self, r: u32) -> bool {
+        (r as usize) < self.side
+    }
+}
+
+impl Topology for Oft {
+    fn name(&self) -> String {
+        format!("OFT(q={})", self.q)
+    }
+
+    fn graph(&self) -> &Csr {
+        &self.graph
+    }
+
+    fn endpoints(&self, r: u32) -> usize {
+        if self.is_leaf(r) {
+            (self.q + 1) as usize
+        } else {
+            0
+        }
+    }
+
+    fn is_direct(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pf_graph::{bfs, DistanceMatrix};
+
+    #[test]
+    fn structure_counts() {
+        for q in [3u64, 4, 5, 7] {
+            let oft = Oft::new(q).unwrap();
+            let n = (q * q + q + 1) as usize;
+            assert_eq!(oft.router_count(), 2 * n);
+            assert_eq!(oft.host_routers().len(), n);
+            assert_eq!(oft.total_endpoints() as u64, (q + 1) * n as u64);
+            assert!(oft.graph().is_regular((q + 1) as usize));
+            assert!(!oft.is_direct());
+        }
+    }
+
+    #[test]
+    fn leaf_pairs_share_exactly_one_spine() {
+        // The "orthogonality" that gives host-level diameter 2: any two
+        // leaves have exactly one common spine (two points span one line).
+        let oft = Oft::new(5).unwrap();
+        let g = oft.graph();
+        let n = oft.leaves() as u32;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let common = g
+                    .neighbors(a)
+                    .iter()
+                    .filter(|&&s| g.neighbors(b).binary_search(&s).is_ok())
+                    .count();
+                assert_eq!(common, 1, "leaves {a},{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn leaf_to_leaf_distance_is_two() {
+        let oft = Oft::new(4).unwrap();
+        let dm = DistanceMatrix::build(oft.graph());
+        let n = oft.leaves() as u32;
+        for a in 0..n {
+            for b in 0..n {
+                if a != b {
+                    assert_eq!(dm.get(a, b), 2);
+                }
+            }
+        }
+        // Whole switch graph (incl. spine-to-spine) has diameter 3.
+        assert_eq!(bfs::diameter(oft.graph()), Some(3));
+    }
+
+    #[test]
+    fn twice_the_switches_of_polarfly() {
+        // §III's cost argument: OFT needs 2x the switches of the polarity
+        // quotient at the same q, and a second (host-free) chip type.
+        let oft = Oft::new(7).unwrap();
+        let pf = polarfly::PolarFly::new(7).unwrap();
+        assert_eq!(oft.router_count(), 2 * pf.router_count());
+        let spines = (0..oft.router_count() as u32).filter(|&r| oft.endpoints(r) == 0).count();
+        assert_eq!(spines, pf.router_count());
+    }
+}

@@ -1,0 +1,1 @@
+//! Root integration crate for the PolarFly reproduction workspace.

@@ -1,0 +1,145 @@
+//! Property-based tests (proptest) over the core data structures and the
+//! simulator: construction invariants for random prime powers, algebraic
+//! laws for random field elements, and conservation laws for random
+//! simulation configurations.
+
+use pf_galois::{Gf, ProjectivePoints, V3};
+use pf_sim::engine::{Engine, SimConfig};
+use pf_sim::tables::RouteTables;
+use pf_sim::traffic::{resolve, TrafficPattern};
+use pf_sim::Routing;
+use pf_topo::{PolarFlyTopo, Topology};
+use polarfly::PolarFly;
+use proptest::prelude::*;
+
+/// Prime powers small enough for exhaustive per-case work.
+const SMALL_Q: &[u64] = &[3, 4, 5, 7, 8, 9, 11, 13, 16, 17, 19, 23, 25];
+const ODD_Q: &[u64] = &[3, 5, 7, 9, 11, 13];
+
+fn arb_q() -> impl Strategy<Value = u64> {
+    proptest::sample::select(SMALL_Q)
+}
+
+fn arb_odd_q() -> impl Strategy<Value = u64> {
+    proptest::sample::select(ODD_Q)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn field_laws_hold_for_random_elements(q in arb_q(), a in 0u32..1024, b in 0u32..1024, c in 0u32..1024) {
+        let f = Gf::new(q).unwrap();
+        let (a, b, c) = (a % f.order(), b % f.order(), c % f.order());
+        prop_assert_eq!(f.add(a, b), f.add(b, a));
+        prop_assert_eq!(f.mul(a, b), f.mul(b, a));
+        prop_assert_eq!(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
+        prop_assert_eq!(f.sub(f.add(a, b), b), a);
+        if b != 0 {
+            prop_assert_eq!(f.mul(f.div(a, b), b), a);
+        }
+    }
+
+    #[test]
+    fn normalization_is_idempotent_and_projective(q in arb_q(), x in 0u32..64, y in 0u32..64, z in 0u32..64) {
+        let f = Gf::new(q).unwrap();
+        let v = V3([x % f.order(), y % f.order(), z % f.order()]);
+        if let Some(n) = v.normalize(&f) {
+            prop_assert!(n.is_normalized());
+            prop_assert_eq!(n.normalize(&f), Some(n));
+            // All nonzero multiples normalize to the same representative.
+            for c in 1..f.order() {
+                prop_assert_eq!(v.scale(c, &f).normalize(&f), Some(n));
+            }
+            // Round-trip through the point index.
+            let pp = ProjectivePoints::new(f.order());
+            let idx = pp.index(&n);
+            prop_assert_eq!(pp.point(idx), n);
+        } else {
+            prop_assert_eq!(v, V3::ZERO);
+        }
+    }
+
+    #[test]
+    fn er_graph_invariants(q in arb_q()) {
+        let pf = PolarFly::new(q).unwrap();
+        prop_assert_eq!(pf.router_count() as u64, q * q + q + 1);
+        prop_assert_eq!(pf.measured_diameter(), Some(2));
+        prop_assert_eq!(pf.quadrics().len() as u64, q + 1);
+        // Edge count: (q+1)(q²+q+1)/2 minus the q+1 "self-loop halves":
+        // quadrics have degree q, others q+1.
+        let expect = ((q * q + q + 1) * (q + 1) - (q + 1)) / 2;
+        prop_assert_eq!(pf.graph().edge_count() as u64, expect);
+    }
+
+    #[test]
+    fn unique_minimal_routes(q in arb_odd_q(), s in 0u32..200, d in 0u32..200) {
+        let pf = PolarFly::new(q).unwrap();
+        let n = pf.router_count() as u32;
+        let (s, d) = (s % n, d % n);
+        if s != d {
+            let route = pf.minimal_route(s, d);
+            prop_assert!(route.len() <= 3);
+            for hop in route.windows(2) {
+                prop_assert!(pf.graph().has_edge(hop[0], hop[1]));
+            }
+            // The cross-product intermediate is the only 2-hop connector.
+            if route.len() == 3 {
+                let g = pf.graph();
+                let common: Vec<u32> = g
+                    .neighbors(s)
+                    .iter()
+                    .copied()
+                    .filter(|&w| g.neighbors(d).binary_search(&w).is_ok())
+                    .collect();
+                prop_assert_eq!(common, vec![route[1]]);
+            }
+        }
+    }
+
+    #[test]
+    fn simulator_conserves_packets(
+        q in prop_oneof![Just(5u64), Just(7)],
+        p in 1usize..4,
+        load in 0.05f64..0.5,
+        routing in prop_oneof![Just(Routing::Min), Just(Routing::Valiant), Just(Routing::Ugal), Just(Routing::UgalPf)],
+        seed in 0u64..1000,
+    ) {
+        let topo = PolarFlyTopo::new(q, p).unwrap();
+        let tables = RouteTables::build(topo.graph(), seed);
+        let dests = resolve(TrafficPattern::Uniform, topo.graph(), &topo.host_routers(), seed);
+        let cfg = SimConfig {
+            warmup: 50,
+            measure: 150,
+            drain_max: 3000,
+            gen_cutoff: 200,
+            seed,
+            ..SimConfig::default()
+        };
+        let mut e = Engine::new(&topo, &tables, &dests, routing, load, cfg);
+        for _ in 0..3000 {
+            e.step();
+        }
+        // After generation stops, everything drains: no lost flits, no
+        // stuck packets, no deadlock.
+        prop_assert_eq!(e.flits_in_network(), 0);
+    }
+}
+
+#[test]
+fn routing_table_distance_consistency_random_topologies() {
+    // Next-hop tables strictly decrease distance on arbitrary graphs.
+    for seed in 0..5u64 {
+        let g = pf_graph::random_regular::random_regular(60, 5, seed);
+        let t = RouteTables::build(&g, seed);
+        for s in 0..60u32 {
+            for d in 0..60u32 {
+                if s != d {
+                    let nh = t.next_hop(s, d);
+                    assert!(g.has_edge(s, nh));
+                    assert_eq!(t.dist(nh, d), t.dist(s, d) - 1);
+                }
+            }
+        }
+    }
+}

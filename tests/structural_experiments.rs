@@ -1,0 +1,123 @@
+//! Integration tests for the structural experiments: triangle census,
+//! block design, expansion, bisection, and failure analysis — the machinery
+//! behind Tables II–IV/VI and Figs. 12–14.
+
+use pf_graph::failures::failure_trial;
+use pf_graph::partition::{bisect, bisection_cut_fraction};
+use polarfly::expansion::{replicate_non_quadric, replicate_quadric, stats};
+use polarfly::paths::verify_table_vi;
+use polarfly::triangles::{census, cluster_triplet_design_holds, expected_census};
+use pf_topo::Topology;
+use polarfly::{Layout, PolarFly};
+
+#[test]
+fn triangle_census_matches_closed_forms_to_q19() {
+    for q in [5u64, 7, 9, 11, 13, 17, 19] {
+        let pf = PolarFly::new(q).unwrap();
+        let layout = Layout::new(&pf);
+        assert_eq!(census(&pf, &layout), expected_census(q), "q={q}");
+    }
+}
+
+#[test]
+fn theorem_v7_block_design_on_racks() {
+    for q in [5u64, 7, 9, 11, 13] {
+        let pf = PolarFly::new(q).unwrap();
+        let layout = Layout::new(&pf);
+        assert!(cluster_triplet_design_holds(&pf, &layout), "q={q}");
+    }
+}
+
+#[test]
+fn table_vi_verified_by_enumeration() {
+    let pf = PolarFly::new(7).unwrap();
+    assert_eq!(verify_table_vi(&pf, 1), Ok(()));
+}
+
+#[test]
+fn expansion_preserves_wiring_and_bounds() {
+    let pf = PolarFly::new(11).unwrap();
+    let layout = Layout::new(&pf);
+    for steps in [1usize, 3] {
+        let exq = replicate_quadric(&pf, &layout, steps);
+        let sq = stats(&pf, &exq);
+        assert_eq!(sq.rewired_links, 0);
+        assert_eq!(sq.diameter, 2);
+
+        let exn = replicate_non_quadric(&pf, &layout, steps);
+        let sn = stats(&pf, &exn);
+        assert_eq!(sn.rewired_links, 0);
+        assert_eq!(sn.diameter, 3);
+        assert!(sn.aspl < 2.0);
+        // Non-quadric replication grows ~2x faster per step.
+        assert!(exn.router_count() > exq.router_count() - steps - 1);
+    }
+}
+
+#[test]
+fn bisection_orders_topologies_like_figure_12() {
+    // PF should cut a larger edge fraction than SF, which beats DF.
+    let pf = PolarFly::new(11).unwrap();
+    let sf = pf_topo::SlimFly::new(9, 1).unwrap();
+    let df = pf_topo::Dragonfly::new(6, 3, 1);
+    let cut_pf = bisection_cut_fraction(pf.graph(), 4, 1);
+    let cut_sf = bisection_cut_fraction(sf.graph(), 4, 1);
+    let cut_df = bisection_cut_fraction(df.graph(), 4, 1);
+    assert!(cut_pf > cut_sf, "PF {cut_pf} vs SF {cut_sf}");
+    assert!(cut_sf > cut_df, "SF {cut_sf} vs DF {cut_df}");
+    assert!(cut_pf > 0.33 && cut_pf < 0.5);
+}
+
+#[test]
+fn bisection_sides_are_balanced() {
+    let pf = PolarFly::new(9).unwrap();
+    let b = bisect(pf.graph(), 2, 5);
+    let ones = b.side.iter().filter(|&&s| s).count();
+    let n = pf.router_count();
+    assert!(ones.abs_diff(n - ones) <= 1);
+}
+
+#[test]
+fn single_quadric_link_failure_raises_diameter_to_four() {
+    // §IX-B: "the diameter of PolarFly increases to 3, or 4 if the link is
+    // from a quadric" — check both cases exactly.
+    let pf = PolarFly::new(7).unwrap();
+    let w = pf.quadrics()[0];
+    let u = pf.graph().neighbors(w)[0];
+    let without_quadric_link = pf.graph().without_edges(&[(w, u)]);
+    assert_eq!(pf_graph::bfs::diameter(&without_quadric_link), Some(4));
+
+    // A non-quadric link has a 2-hop alternative: diameter 3.
+    let (a, b) = *pf
+        .graph()
+        .edges()
+        .iter()
+        .find(|&&(a, b)| !pf.is_quadric(a) && !pf.is_quadric(b))
+        .unwrap();
+    let without_plain_link = pf.graph().without_edges(&[(a, b)]);
+    assert_eq!(pf_graph::bfs::diameter(&without_plain_link), Some(3));
+}
+
+#[test]
+fn diameter_stays_four_under_heavy_failures() {
+    // §IX-B / Fig. 14: with 30% of links failed the PolarFly diameter is
+    // still 4 (O(q²) 4-hop path diversity).
+    let pf = PolarFly::new(11).unwrap();
+    let trial = failure_trial(pf.graph(), &[0.1, 0.2, 0.3], 3);
+    for p in &trial.curve {
+        assert!(p.connected, "disconnected at {}", p.failure_ratio);
+        assert!(p.diameter <= 4, "diameter {} at {}", p.diameter, p.failure_ratio);
+    }
+}
+
+#[test]
+fn layout_is_starter_invariant_for_triangle_counts() {
+    let pf = PolarFly::new(9).unwrap();
+    let mut counts = std::collections::HashSet::new();
+    for &w in pf.quadrics() {
+        let layout = Layout::with_starter(&pf, w);
+        let c = census(&pf, &layout);
+        counts.insert((c.total, c.intra_cluster, c.inter_cluster));
+    }
+    assert_eq!(counts.len(), 1, "census must not depend on the starter quadric");
+}
