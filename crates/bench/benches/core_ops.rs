@@ -56,10 +56,16 @@ fn routing_algebra(c: &mut Criterion) {
 fn construction(c: &mut Criterion) {
     let mut g = c.benchmark_group("construction");
     g.sample_size(10);
-    g.bench_function("er_q31_build", |b| b.iter(|| PolarFly::new(31).unwrap().router_count()));
-    g.bench_function("er_q127_build", |b| b.iter(|| PolarFly::new(127).unwrap().router_count()));
+    g.bench_function("er_q31_build", |b| {
+        b.iter(|| PolarFly::new(31).unwrap().router_count())
+    });
+    g.bench_function("er_q127_build", |b| {
+        b.iter(|| PolarFly::new(127).unwrap().router_count())
+    });
     let pf = PolarFly::new(31).unwrap();
-    g.bench_function("min_route_table_q31", |b| b.iter(|| MinRouteTable::build(&pf)));
+    g.bench_function("min_route_table_q31", |b| {
+        b.iter(|| MinRouteTable::build(&pf))
+    });
     g.finish();
 }
 

@@ -9,11 +9,15 @@ fn graph_benches(c: &mut Criterion) {
     let pf = PolarFly::new(31).unwrap();
     let g = pf.graph();
 
-    c.bench_function("bfs_single_source_q31", |b| b.iter(|| bfs::bfs_distances(g, 0)));
+    c.bench_function("bfs_single_source_q31", |b| {
+        b.iter(|| bfs::bfs_distances(g, 0))
+    });
 
     let mut grp = c.benchmark_group("heavy");
     grp.sample_size(10);
-    grp.bench_function("apsp_q31_993_routers", |b| b.iter(|| DistanceMatrix::build(g)));
+    grp.bench_function("apsp_q31_993_routers", |b| {
+        b.iter(|| DistanceMatrix::build(g))
+    });
     grp.bench_function("triangle_count_q31", |b| b.iter(|| triangles::count(g)));
     grp.bench_function("bisection_q19", |b| {
         let pf19 = PolarFly::new(19).unwrap();

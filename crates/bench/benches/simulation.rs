@@ -11,14 +11,19 @@ use pf_topo::{PolarFlyTopo, Topology};
 fn sim_benches(c: &mut Criterion) {
     let topo = PolarFlyTopo::balanced(13).unwrap();
     let tables = RouteTables::build(topo.graph(), 1);
-    let dests = resolve(TrafficPattern::Uniform, topo.graph(), &topo.host_routers(), 1);
+    let dests = resolve(
+        TrafficPattern::Uniform,
+        topo.graph(),
+        &topo.host_routers(),
+        1,
+    );
 
     let mut grp = c.benchmark_group("engine");
     grp.sample_size(10);
     for &load in &[0.2, 0.7] {
         grp.bench_function(format!("pf13_500cycles_load{load}"), |b| {
             b.iter(|| {
-                let cfg = SimConfig { warmup: 0, measure: 500, drain_max: 0, ..SimConfig::default() };
+                let cfg = SimConfig::default().warmup(0).measure(500).drain_max(0);
                 let mut e = Engine::new(&topo, &tables, &dests, Routing::UgalPf, load, cfg);
                 for _ in 0..500 {
                     e.step();

@@ -8,7 +8,11 @@ use pf_sim::{Routing, TrafficPattern};
 use pf_topo::PolarFlyTopo;
 
 fn main() {
-    let qs: Vec<u64> = if pf_bench::full_scale() { vec![13, 19, 25, 31] } else { vec![13, 19] };
+    let qs: Vec<u64> = if pf_bench::full_scale() {
+        vec![13, 19, 25, 31]
+    } else {
+        vec![13, 19]
+    };
     let cfg = sim_config();
     let loads = load_points();
     for routing in [Routing::Min, Routing::UgalPf] {

@@ -12,19 +12,33 @@ use polarfly::expansion::{replicate_non_quadric, replicate_quadric};
 use polarfly::Layout;
 
 fn main() {
-    let (q, p) = if pf_bench::full_scale() { (31u64, 16usize) } else { (13, 7) };
+    let (q, p) = if pf_bench::full_scale() {
+        (31u64, 16usize)
+    } else {
+        (13, 7)
+    };
     let base = PolarFlyTopo::new(q, p).unwrap();
     let layout = Layout::new(base.inner());
     let cfg = sim_config();
     let loads = load_points();
 
     println!("=== Figure 11: base PF(q={q}) ===\n");
-    let curve = load_curve(&base, Routing::UgalPf, TrafficPattern::Uniform, &loads, &cfg);
+    let curve = load_curve(
+        &base,
+        Routing::UgalPf,
+        TrafficPattern::Uniform,
+        &loads,
+        &cfg,
+    );
     print_curve_rows(&curve);
 
     // ~10/19/29/39% growth: quadric replication adds q+1 routers/step,
     // non-quadric adds q/step; the paper adds 3/6/9/12 clusters at q=31.
-    let steps: Vec<usize> = if pf_bench::full_scale() { vec![3, 6, 9, 12] } else { vec![1, 2, 4, 5] };
+    let steps: Vec<usize> = if pf_bench::full_scale() {
+        vec![3, 6, 9, 12]
+    } else {
+        vec![1, 2, 4, 5]
+    };
     for method in ["quadric", "non-quadric"] {
         println!("=== Figure 11: {method} replication ===\n");
         for &s in &steps {
@@ -37,7 +51,13 @@ fn main() {
             };
             let name = format!("PF(q={q})+{:.0}%-{method}", growth * 100.0);
             let topo = GraphTopo::new(name, graph, p);
-            let curve = load_curve(&topo, Routing::UgalPf, TrafficPattern::Uniform, &loads, &cfg);
+            let curve = load_curve(
+                &topo,
+                Routing::UgalPf,
+                TrafficPattern::Uniform,
+                &loads,
+                &cfg,
+            );
             print_curve_rows(&curve);
         }
     }

@@ -14,27 +14,54 @@ fn main() {
     println!("radix 18, approaching 0.5; SF ~0.33; DF ~0.17; FT optimal 0.5)\n");
 
     println!("# PolarFly");
-    let pf_qs: &[u64] = if full { &[7, 11, 17, 23, 31, 43, 61, 79] } else { &[7, 11, 17, 23, 31] };
+    let pf_qs: &[u64] = if full {
+        &[7, 11, 17, 23, 31, 43, 61, 79]
+    } else {
+        &[7, 11, 17, 23, 31]
+    };
     for &q in pf_qs {
         let pf = PolarFly::new(q).unwrap();
         let cut = bisection_cut_fraction(pf.graph(), restarts, 42);
-        println!("  radix {:>4} N {:>6}: {:.4}", q + 1, pf.router_count(), cut);
+        println!(
+            "  radix {:>4} N {:>6}: {:.4}",
+            q + 1,
+            pf.router_count(),
+            cut
+        );
     }
 
     println!("# Slim Fly");
-    let sf_qs: &[u64] = if full { &[5, 9, 13, 19, 25, 32, 43] } else { &[5, 9, 13, 19] };
+    let sf_qs: &[u64] = if full {
+        &[5, 9, 13, 19, 25, 32, 43]
+    } else {
+        &[5, 9, 13, 19]
+    };
     for &q in sf_qs {
         let sf = SlimFly::new(q, 1).unwrap();
         let cut = bisection_cut_fraction(sf.graph(), restarts, 42);
-        println!("  radix {:>4} N {:>6}: {:.4}", sf.degree(), sf.router_count(), cut);
+        println!(
+            "  radix {:>4} N {:>6}: {:.4}",
+            sf.degree(),
+            sf.router_count(),
+            cut
+        );
     }
 
     println!("# Dragonfly (balanced a=2h)");
-    let hs: &[u32] = if full { &[2, 3, 4, 6, 8, 10] } else { &[2, 3, 4, 6] };
+    let hs: &[u32] = if full {
+        &[2, 3, 4, 6, 8, 10]
+    } else {
+        &[2, 3, 4, 6]
+    };
     for &h in hs {
         let df = Dragonfly::new(2 * h, h, 1);
         let cut = bisection_cut_fraction(df.graph(), restarts, 42);
-        println!("  radix {:>4} N {:>6}: {:.4}", df.degree(), df.router_count(), cut);
+        println!(
+            "  radix {:>4} N {:>6}: {:.4}",
+            df.degree(),
+            df.router_count(),
+            cut
+        );
     }
 
     println!("# Jellyfish (random regular, PF-matched sizes)");

@@ -15,8 +15,15 @@ fn main() {
     for t in comparison_topologies() {
         let g = t.graph();
         let (median_ratio, trial) = median_failure_trial(g, trials, &checkpoints, 99);
-        println!("# {}  median disconnection ratio = {:.3}", t.name(), median_ratio);
-        println!("{:>8} {:>9} {:>8} {:>10}", "fail%", "diameter", "ASPL", "connected");
+        println!(
+            "# {}  median disconnection ratio = {:.3}",
+            t.name(),
+            median_ratio
+        );
+        println!(
+            "{:>8} {:>9} {:>8} {:>10}",
+            "fail%", "diameter", "ASPL", "connected"
+        );
         for p in &trial.curve {
             if p.failure_ratio > median_ratio + 0.051 {
                 break;

@@ -16,5 +16,7 @@ fn main() {
         }
         println!();
     }
-    println!("OIO budget check: Fat-tree = 4864 switches x 4 OIO + 1024 nodes x 2 OIO = 21504 modules");
+    println!(
+        "OIO budget check: Fat-tree = 4864 switches x 4 OIO + 1024 nodes x 2 OIO = 21504 modules"
+    );
 }

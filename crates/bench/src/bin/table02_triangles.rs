@@ -10,7 +10,11 @@ fn main() {
         "{:>4} {:>8} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
         "q", "q mod 4", "total", "intra", "inter", "(v1,v1,v1)", "(v1,v1,v2)", "…"
     );
-    let qs: Vec<u64> = if pf_bench::full_scale() { vec![13, 17, 19, 23, 25, 29, 31] } else { vec![13, 17, 19, 23] };
+    let qs: Vec<u64> = if pf_bench::full_scale() {
+        vec![13, 17, 19, 23, 25, 29, 31]
+    } else {
+        vec![13, 17, 19, 23]
+    };
     for q in qs {
         let pf = PolarFly::new(q).unwrap();
         let layout = Layout::new(&pf);

@@ -21,7 +21,13 @@ fn main() {
         println!("  v1  {:>4} {:>4}", label(t[0][0]), label(t[0][1]));
         println!("  v2  {:>4} {:>4}", label(t[1][0]), label(t[1][1]));
         let pf = PolarFly::new(q).unwrap();
-        assert!(verify_intermediate_types(&pf), "verification failed for q={q}");
-        println!("  verified by exhaustive edge scan ({} edges)\n", pf.graph().edge_count());
+        assert!(
+            verify_intermediate_types(&pf),
+            "verification failed for q={q}"
+        );
+        println!(
+            "  verified by exhaustive edge scan ({} edges)\n",
+            pf.graph().edge_count()
+        );
     }
 }

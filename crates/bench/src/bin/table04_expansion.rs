@@ -20,7 +20,14 @@ fn main() {
         assert_eq!(s.rewired_links, 0);
         println!(
             "{:<14} {:>6} {:>9} {:>13.2} {:>9} {:>9} {:>9} {:>9.3}",
-            "Quadric", steps, ex.router_count(), s.scalability, s.degree_range.0, s.degree_range.1, s.diameter, s.aspl
+            "Quadric",
+            steps,
+            ex.router_count(),
+            s.scalability,
+            s.degree_range.0,
+            s.degree_range.1,
+            s.diameter,
+            s.aspl
         );
     }
     for steps in [1usize, 2, 4] {
@@ -29,7 +36,14 @@ fn main() {
         assert_eq!(s.rewired_links, 0);
         println!(
             "{:<14} {:>6} {:>9} {:>13.2} {:>9} {:>9} {:>9} {:>9.3}",
-            "Non-quadric", steps, ex.router_count(), s.scalability, s.degree_range.0, s.degree_range.1, s.diameter, s.aspl
+            "Non-quadric",
+            steps,
+            ex.router_count(),
+            s.scalability,
+            s.degree_range.0,
+            s.degree_range.1,
+            s.diameter,
+            s.aspl
         );
     }
     println!("\nrewired links = 0 in all cases (expansion never moves existing cables)");

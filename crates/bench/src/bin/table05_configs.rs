@@ -23,7 +23,9 @@ fn main() {
             t.router_count(),
             g.max_degree(),
             t.total_endpoints(),
-            dm.diameter().map(|d| d.to_string()).unwrap_or_else(|| "inf".into()),
+            dm.diameter()
+                .map(|d| d.to_string())
+                .unwrap_or_else(|| "inf".into()),
             dm.average_shortest_path()
         );
     }

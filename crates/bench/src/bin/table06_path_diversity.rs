@@ -1,7 +1,9 @@
 //! Table VI: path diversity of ER_q for path lengths 1–4, by vertex-pair
 //! case — enumerated, with the paper's closed forms alongside.
 
-use polarfly::paths::{expected_diversity, measured_diversity, paper_table_vi, surviving_3hop_paths};
+use polarfly::paths::{
+    expected_diversity, measured_diversity, paper_table_vi, surviving_3hop_paths,
+};
 use polarfly::{PolarFly, VertexClass};
 use std::collections::BTreeMap;
 
@@ -28,9 +30,15 @@ fn main() {
             assert_eq!(m, e, "closed form mismatch at ({v},{w})");
             let paper = paper_table_vi(&pf, v, w);
             let surv3 = surviving_3hop_paths(&pf, v, w);
-            assert_eq!(surv3, paper.len3, "paper len-3 convention mismatch at ({v},{w})");
+            assert_eq!(
+                surv3, paper.len3,
+                "paper len-3 convention mismatch at ({v},{w})"
+            );
             let adj = pf.graph().has_edge(v, w);
-            let xq = pf.intermediate(v, w).map(|x| pf.is_quadric(x)).unwrap_or(false);
+            let xq = pf
+                .intermediate(v, w)
+                .map(|x| pf.is_quadric(x))
+                .unwrap_or(false);
             let mut cs = [class_label(pf.class(v)), class_label(pf.class(w))];
             cs.sort();
             let key = format!(
@@ -40,8 +48,14 @@ fn main() {
                 cs[1],
                 if xq { " xW" } else { "   " }
             );
-            let entry = rows.entry(key).or_insert((m.len1, m.len2, m.len3, m.len4, surv3, paper.len4));
-            assert_eq!((entry.0, entry.1, entry.2, entry.3), (m.len1, m.len2, m.len3, m.len4), "case not constant");
+            let entry = rows
+                .entry(key)
+                .or_insert((m.len1, m.len2, m.len3, m.len4, surv3, paper.len4));
+            assert_eq!(
+                (entry.0, entry.1, entry.2, entry.3),
+                (m.len1, m.len2, m.len3, m.len4),
+                "case not constant"
+            );
         }
     }
     println!(

@@ -24,14 +24,19 @@ pub fn sim_config() -> SimConfig {
     if full_scale() {
         SimConfig::default() // 1000 warmup / 2000 measure / 4000 drain
     } else {
-        SimConfig { warmup: 300, measure: 700, drain_max: 1000, ..SimConfig::default() }
+        SimConfig::default()
+            .warmup(300)
+            .measure(700)
+            .drain_max(1000)
     }
 }
 
 /// Offered-load grid for latency-vs-load curves.
 pub fn load_points() -> Vec<f64> {
     if full_scale() {
-        vec![0.05, 0.15, 0.25, 0.35, 0.45, 0.55, 0.65, 0.72, 0.78, 0.84, 0.9, 0.96]
+        vec![
+            0.05, 0.15, 0.25, 0.35, 0.45, 0.55, 0.65, 0.72, 0.78, 0.84, 0.9, 0.96,
+        ]
     } else {
         vec![0.05, 0.2, 0.35, 0.5, 0.6, 0.7, 0.8, 0.9]
     }
@@ -77,8 +82,14 @@ pub fn print_series(header: &str, xs: &[f64], ys: &[f64]) {
 
 /// Prints one latency-vs-load curve as an aligned table.
 pub fn print_curve_rows(curve: &pf_sim::LoadCurve) {
-    println!("# {} / {} / {}", curve.topology, curve.routing, curve.pattern);
-    println!("{:>8} {:>10} {:>12} {:>10} {:>6}", "offered", "accepted", "avg_latency", "p99", "sat");
+    println!(
+        "# {} / {} / {}",
+        curve.topology, curve.routing, curve.pattern
+    );
+    println!(
+        "{:>8} {:>10} {:>12} {:>10} {:>6}",
+        "offered", "accepted", "avg_latency", "p99", "sat"
+    );
     for p in &curve.points {
         println!(
             "{:8.3} {:10.4} {:12.2} {:10.1} {:>6}",
@@ -120,7 +131,11 @@ pub fn ascii_curve(curve: &pf_sim::LoadCurve, latency_cap: f64) -> String {
         let _ = writeln!(s, "|{}", String::from_utf8(row).unwrap());
     }
     let _ = writeln!(s, "+{}", "-".repeat(width));
-    let loads: Vec<String> = curve.points.iter().map(|p| format!("{:.2}", p.offered_load)).collect();
+    let loads: Vec<String> = curve
+        .points
+        .iter()
+        .map(|p| format!("{:.2}", p.offered_load))
+        .collect();
     let _ = writeln!(s, " loads: {}", loads.join(" "));
     s
 }
@@ -168,7 +183,13 @@ mod tests {
         use pf_sim::sweep::load_curve;
         use pf_sim::{Routing, SimConfig, TrafficPattern};
         let topo = pf_topo::PolarFlyTopo::new(5, 2).unwrap();
-        let curve = load_curve(&topo, Routing::Min, TrafficPattern::Uniform, &[0.1, 0.5], &SimConfig::quick());
+        let curve = load_curve(
+            &topo,
+            Routing::Min,
+            TrafficPattern::Uniform,
+            &[0.1, 0.5],
+            &SimConfig::quick(),
+        );
         let plot = ascii_curve(&curve, 100.0);
         assert!(plot.contains("PF(q=5,p=2)"));
         assert!(plot.contains('*') || plot.contains('X'));

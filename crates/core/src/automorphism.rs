@@ -43,13 +43,13 @@ impl Mat3 {
     /// Matrix product `self · other`.
     pub fn mul(&self, other: &Mat3, f: &Gf) -> Mat3 {
         let mut out = [[0u32; 3]; 3];
-        for r in 0..3 {
-            for c in 0..3 {
+        for (r, row) in out.iter_mut().enumerate() {
+            for (c, cell) in row.iter_mut().enumerate() {
                 let mut acc = 0;
                 for k in 0..3 {
                     acc = f.add(acc, f.mul(self.0[r][k], other.0[k][c]));
                 }
-                out[r][c] = acc;
+                *cell = acc;
             }
         }
         Mat3(out)
@@ -58,15 +58,28 @@ impl Mat3 {
     /// Transpose.
     pub fn transpose(&self) -> Mat3 {
         let m = &self.0;
-        Mat3([[m[0][0], m[1][0], m[2][0]], [m[0][1], m[1][1], m[2][1]], [m[0][2], m[1][2], m[2][2]]])
+        Mat3([
+            [m[0][0], m[1][0], m[2][0]],
+            [m[0][1], m[1][1], m[2][1]],
+            [m[0][2], m[1][2], m[2][2]],
+        ])
     }
 
     /// Determinant over `F_q`.
     pub fn det(&self, f: &Gf) -> u32 {
         let m = &self.0;
-        let t1 = f.mul(m[0][0], f.sub(f.mul(m[1][1], m[2][2]), f.mul(m[1][2], m[2][1])));
-        let t2 = f.mul(m[0][1], f.sub(f.mul(m[1][0], m[2][2]), f.mul(m[1][2], m[2][0])));
-        let t3 = f.mul(m[0][2], f.sub(f.mul(m[1][0], m[2][1]), f.mul(m[1][1], m[2][0])));
+        let t1 = f.mul(
+            m[0][0],
+            f.sub(f.mul(m[1][1], m[2][2]), f.mul(m[1][2], m[2][1])),
+        );
+        let t2 = f.mul(
+            m[0][1],
+            f.sub(f.mul(m[1][0], m[2][2]), f.mul(m[1][2], m[2][0])),
+        );
+        let t3 = f.mul(
+            m[0][2],
+            f.sub(f.mul(m[1][0], m[2][1]), f.mul(m[1][1], m[2][0])),
+        );
         f.add(f.sub(t1, t2), t3)
     }
 
@@ -122,7 +135,9 @@ pub fn is_graph_automorphism(pf: &PolarFly, perm: &[u32]) -> bool {
         }
         seen[p as usize] = true;
     }
-    g.edges().iter().all(|&(u, v)| g.has_edge(perm[u as usize], perm[v as usize]))
+    g.edges()
+        .iter()
+        .all(|&(u, v)| g.has_edge(perm[u as usize], perm[v as usize]))
 }
 
 /// A useful generating set of similitudes: the 3-cycle and swap
@@ -238,8 +253,10 @@ mod tests {
             // all of them.
             let w0 = pf.quadrics()[0];
             let orb = orbs.iter().find(|o| o.contains(&w0)).unwrap();
-            let quadrics_in_orbit =
-                orb.iter().filter(|&&v| pf.class(v) == VertexClass::Quadric).count();
+            let quadrics_in_orbit = orb
+                .iter()
+                .filter(|&&v| pf.class(v) == VertexClass::Quadric)
+                .count();
             assert_eq!(
                 quadrics_in_orbit,
                 pf.quadrics().len(),

@@ -40,7 +40,10 @@ impl IncidenceGraph {
                 b.add_edge(point_idx as u32, (n + line_idx) as u32);
             }
         }
-        Ok(IncidenceGraph { plane, graph: b.build() })
+        Ok(IncidenceGraph {
+            plane,
+            graph: b.build(),
+        })
     }
 
     /// The underlying plane.
@@ -130,7 +133,11 @@ mod tests {
         let absolute = bq.plane().absolute_points();
         assert_eq!(absolute.len() as u64, q + 1);
         for v in 0..quotient.vertex_count() as u32 {
-            let expect = if absolute.contains(&(v as usize)) { q } else { q + 1 };
+            let expect = if absolute.contains(&(v as usize)) {
+                q
+            } else {
+                q + 1
+            };
             assert_eq!(quotient.degree(v) as u64, expect);
         }
     }

@@ -126,7 +126,10 @@ mod tests {
     use super::*;
 
     fn costs(scenario: TrafficScenario) -> Vec<f64> {
-        relative_costs(&paper_configuration(), scenario).iter().map(|b| b.relative_cost).collect()
+        relative_costs(&paper_configuration(), scenario)
+            .iter()
+            .map(|b| b.relative_cost)
+            .collect()
     }
 
     #[test]

@@ -75,7 +75,14 @@ impl PolarFly {
             }
         }
 
-        Ok(PolarFly { q: q32, field, points, graph, class, quadrics })
+        Ok(PolarFly {
+            q: q32,
+            field,
+            points,
+            graph,
+            class,
+            quadrics,
+        })
     }
 
     /// The field-order parameter `q`.
@@ -152,7 +159,9 @@ impl PolarFly {
 
     /// Routers in the given class.
     pub fn routers_in_class(&self, c: VertexClass) -> Vec<u32> {
-        (0..self.router_count() as u32).filter(|&v| self.class(v) == c).collect()
+        (0..self.router_count() as u32)
+            .filter(|&v| self.class(v) == c)
+            .collect()
     }
 
     /// Fraction of the diameter-2 Moore bound (`1 + k²`) this instance
@@ -223,7 +232,11 @@ mod tests {
             // Degrees: quadrics have degree q (their self-loop is not an
             // edge), non-quadrics q+1.
             for v in 0..n as u32 {
-                let expect = if pf.is_quadric(v) { q as usize } else { (q + 1) as usize };
+                let expect = if pf.is_quadric(v) {
+                    q as usize
+                } else {
+                    (q + 1) as usize
+                };
                 assert_eq!(pf.graph().degree(v), expect, "q={q} v={v}");
             }
         }
@@ -271,7 +284,11 @@ mod tests {
         for q in [3u64, 5, 7, 9, 11, 13] {
             let pf = PolarFly::new(q).unwrap();
             let count_class = |v: u32, c: VertexClass| {
-                pf.graph().neighbors(v).iter().filter(|&&w| pf.class(w) == c).count() as u64
+                pf.graph()
+                    .neighbors(v)
+                    .iter()
+                    .filter(|&&w| pf.class(w) == c)
+                    .count() as u64
             };
             for v in 0..pf.router_count() as u32 {
                 match pf.class(v) {
@@ -290,8 +307,8 @@ mod tests {
                     VertexClass::V2 => {
                         // 1.3: (q+1)/2 in each of V1, V2.
                         assert_eq!(count_class(v, VertexClass::Quadric), 0);
-                        assert_eq!(count_class(v, VertexClass::V1), (q + 1) / 2);
-                        assert_eq!(count_class(v, VertexClass::V2), (q + 1) / 2);
+                        assert_eq!(count_class(v, VertexClass::V1), q.div_ceil(2));
+                        assert_eq!(count_class(v, VertexClass::V2), q.div_ceil(2));
                     }
                 }
             }
@@ -334,8 +351,13 @@ mod tests {
                     if u == v || g.has_edge(u, v) {
                         continue;
                     }
-                    let mid = pf.intermediate(u, v).expect("2-hop pair must have intermediate");
-                    assert!(g.has_edge(u, mid) && g.has_edge(mid, v), "q={q} {u}->{mid}->{v}");
+                    let mid = pf
+                        .intermediate(u, v)
+                        .expect("2-hop pair must have intermediate");
+                    assert!(
+                        g.has_edge(u, mid) && g.has_edge(mid, v),
+                        "q={q} {u}->{mid}->{v}"
+                    );
                 }
             }
         }

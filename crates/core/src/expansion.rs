@@ -105,7 +105,10 @@ pub fn replicate_quadric(pf: &PolarFly, layout: &Layout, steps: usize) -> Expand
 /// `steps ≤ q`) per §VI-B, including the degree-uniformity fix-up links.
 pub fn replicate_non_quadric(pf: &PolarFly, layout: &Layout, steps: usize) -> Expanded {
     let q = pf.q() as usize;
-    assert!(steps <= q, "at most q non-quadric replications (got {steps} > {q})");
+    assert!(
+        steps <= q,
+        "at most q non-quadric replications (got {steps} > {q})"
+    );
     let base_n = pf.router_count();
     let n = base_n + steps * q;
 
@@ -114,10 +117,13 @@ pub fn replicate_non_quadric(pf: &PolarFly, layout: &Layout, steps: usize) -> Ex
     let mut cluster_of: Vec<u32> = (0..base_n as u32).map(|v| layout.cluster_of(v)).collect();
     let mut original_of: Vec<u32> = Vec::with_capacity(steps * q);
     // Centers per cluster id (index 0 unused placeholder = starter).
-    let mut centers: Vec<u32> = (0..layout.cluster_count() as u32).map(|i| layout.center(i)).collect();
+    let mut centers: Vec<u32> = (0..layout.cluster_count() as u32)
+        .map(|i| layout.center(i))
+        .collect();
     // Members per cluster id, replicas appended as they are created.
-    let mut members: Vec<Vec<u32>> =
-        (0..layout.cluster_count() as u32).map(|i| layout.cluster(i).to_vec()).collect();
+    let mut members: Vec<Vec<u32>> = (0..layout.cluster_count() as u32)
+        .map(|i| layout.cluster(i).to_vec())
+        .collect();
 
     // Adjacency sets are rebuilt per step — steps ≤ q ≤ 127 keeps this cheap
     // relative to simulation, and it keeps the logic auditable.
@@ -167,7 +173,10 @@ pub fn replicate_non_quadric(pf: &PolarFly, layout: &Layout, steps: usize) -> Ex
                 if u == center {
                     continue;
                 }
-                let touches = graph_so_far.neighbors(u).iter().any(|&w| cluster_of[w as usize] == d);
+                let touches = graph_so_far
+                    .neighbors(u)
+                    .iter()
+                    .any(|&w| cluster_of[w as usize] == d);
                 if !touches {
                     debug_assert!(missing.is_none(), "u'(i,j) must be unique");
                     missing = Some(pos);
@@ -215,12 +224,15 @@ pub fn stats(pf: &PolarFly, ex: &Expanded) -> ExpansionStats {
     } else {
         f64::INFINITY
     };
-    let base_edges: std::collections::HashSet<(u32, u32)> = pf.graph().edges().iter().copied().collect();
+    let base_edges: std::collections::HashSet<(u32, u32)> =
+        pf.graph().edges().iter().copied().collect();
     let rewired = ex
         .graph
         .edges()
         .iter()
-        .filter(|&&(u, v)| (u as usize) < ex.base_n && (v as usize) < ex.base_n && !base_edges.contains(&(u, v)))
+        .filter(|&&(u, v)| {
+            (u as usize) < ex.base_n && (v as usize) < ex.base_n && !base_edges.contains(&(u, v))
+        })
         .count();
     ExpansionStats {
         scalability,
@@ -248,7 +260,10 @@ mod tests {
             for steps in 1..=3usize {
                 let ex = replicate_quadric(&pf, &l, steps);
                 // §VI-A.1: +q+1 routers per step, diameter stays 2.
-                assert_eq!(ex.router_count(), pf.router_count() + steps * (q as usize + 1));
+                assert_eq!(
+                    ex.router_count(),
+                    pf.router_count() + steps * (q as usize + 1)
+                );
                 let st = stats(&pf, &ex);
                 assert_eq!(st.diameter, 2, "q={q} steps={steps}");
                 assert_eq!(st.rewired_links, 0, "expansion must not rewire");
@@ -302,7 +317,11 @@ mod tests {
                 assert_eq!(ex.router_count(), pf.router_count() + steps * q as usize);
                 let st = stats(&pf, &ex);
                 // §VI-B.2: max degree increases by steps + 1.
-                assert_eq!(st.degree_range.1, (q + 1) as usize + steps + 1, "q={q} steps={steps}");
+                assert_eq!(
+                    st.degree_range.1,
+                    (q + 1) as usize + steps + 1,
+                    "q={q} steps={steps}"
+                );
                 // §VI-B.3: diameter becomes 3, ASPL stays below 2.
                 assert_eq!(st.diameter, 3, "q={q} steps={steps}");
                 assert!(st.aspl < 2.0, "q={q} steps={steps} aspl={}", st.aspl);
@@ -324,11 +343,17 @@ mod tests {
             let far: Vec<u32> = (0..ex.router_count() as u32)
                 .filter(|&v| dm.get(u, v) >= 3)
                 .collect();
-            assert!(far.len() as u32 <= q - 1, "router {u} has too many 3-hop partners");
+            assert!(
+                (far.len() as u32) < q,
+                "router {u} has too many 3-hop partners"
+            );
             for v in far {
                 let cv = ex.cluster_of[v as usize];
                 let related = (cv == cu + q && cu >= 1) || (cu == cv + q && cv >= 1);
-                assert!(related, "3-distance pair {u}(c{cu}) {v}(c{cv}) not cluster/replica");
+                assert!(
+                    related,
+                    "3-distance pair {u}(c{cu}) {v}(c{cv}) not cluster/replica"
+                );
             }
         }
     }

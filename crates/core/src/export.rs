@@ -35,7 +35,11 @@ pub fn layered_positions(pf: &PolarFly, layout: &Layout) -> Vec<NodePosition> {
         let base = (cl as f64) / clusters * std::f64::consts::TAU;
         let span = std::f64::consts::TAU / clusters * 0.8;
         for (i, &v) in members.iter().enumerate() {
-            let frac = if members.len() > 1 { i as f64 / (members.len() - 1) as f64 } else { 0.5 };
+            let frac = if members.len() > 1 {
+                i as f64 / (members.len() - 1) as f64
+            } else {
+                0.5
+            };
             let angle = base + (frac - 0.5) * span;
             let class = pf.class(v);
             let y = match class {
@@ -70,7 +74,12 @@ fn class_color(c: VertexClass) -> &'static str {
 pub fn to_dot(pf: &PolarFly, layout: &Layout) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "graph er{} {{", pf.q());
-    let _ = writeln!(s, "  // PolarFly q={}: {} routers", pf.q(), pf.router_count());
+    let _ = writeln!(
+        s,
+        "  // PolarFly q={}: {} routers",
+        pf.q(),
+        pf.router_count()
+    );
     for n in layered_positions(pf, layout) {
         let _ = writeln!(
             s,

@@ -209,7 +209,10 @@ mod tests {
         let sf = slimfly_moore_curve(130);
         let pf_last = pf.last().unwrap().percent_of_moore;
         let sf_last = sf.last().unwrap().percent_of_moore;
-        assert!(pf_last > 96.0, "paper: >96% at moderate radixes (got {pf_last})");
+        assert!(
+            pf_last > 96.0,
+            "paper: >96% at moderate radixes (got {pf_last})"
+        );
         assert!(sf_last < 90.0);
         assert!((sf_last - 100.0 * 8.0 / 9.0).abs() < 2.0);
     }

@@ -51,9 +51,9 @@
 pub mod automorphism;
 pub mod bipartite;
 pub mod cost;
-pub mod export;
 pub mod er;
 pub mod expansion;
+pub mod export;
 pub mod feasibility;
 pub mod layout;
 pub mod paths;

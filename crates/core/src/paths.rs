@@ -98,7 +98,10 @@ pub fn expected_diversity(pf: &PolarFly, v: u32, w: u32) -> PathDiversity {
     let (cv, cw) = (pf.class(v), pf.class(w));
     let some_quadric = cv == Quadric || cw == Quadric;
     // The unique 2-hop intermediate (None exactly for quadric–neighbor pairs).
-    let x_quadric = pf.intermediate(v, w).map(|x| pf.is_quadric(x)).unwrap_or(false);
+    let x_quadric = pf
+        .intermediate(v, w)
+        .map(|x| pf.is_quadric(x))
+        .unwrap_or(false);
 
     let len1 = u64::from(adjacent);
     let len2 = if adjacent && some_quadric { 0 } else { 1 };
@@ -132,7 +135,12 @@ pub fn expected_diversity(pf: &PolarFly, v: u32, w: u32) -> PathDiversity {
             (V2, V2) => q * q,
         }
     };
-    PathDiversity { len1, len2, len3, len4 }
+    PathDiversity {
+        len1,
+        len2,
+        len3,
+        len4,
+    }
 }
 
 /// The paper's Table VI rows, verbatim, for side-by-side reporting in the
@@ -147,7 +155,10 @@ pub fn paper_table_vi(pf: &PolarFly, v: u32, w: u32) -> PathDiversity {
     let adjacent = pf.graph().has_edge(v, w);
     let (cv, cw) = (pf.class(v), pf.class(w));
     let some_quadric = cv == Quadric || cw == Quadric;
-    let x_quadric = pf.intermediate(v, w).map(|x| pf.is_quadric(x)).unwrap_or(false);
+    let x_quadric = pf
+        .intermediate(v, w)
+        .map(|x| pf.is_quadric(x))
+        .unwrap_or(false);
 
     let len1 = u64::from(adjacent);
     let len2 = if adjacent && some_quadric { 0 } else { 1 };
@@ -175,7 +186,12 @@ pub fn paper_table_vi(pf: &PolarFly, v: u32, w: u32) -> PathDiversity {
             (V2, V2) => q * q,
         }
     };
-    PathDiversity { len1, len2, len3, len4 }
+    PathDiversity {
+        len1,
+        len2,
+        len3,
+        len4,
+    }
 }
 
 /// Table VI length-3 convention: 3-hop paths avoiding the minimal
@@ -275,7 +291,11 @@ mod tests {
         for v in 0..pf.router_count() as u32 {
             for w in (v + 1)..pf.router_count() as u32 {
                 let d = measured_diversity(&pf, v, w);
-                assert!(d.len4 >= (q - 1) * (q - 1) && d.len4 <= q * q, "{v},{w}: {}", d.len4);
+                assert!(
+                    d.len4 >= (q - 1) * (q - 1) && d.len4 <= q * q,
+                    "{v},{w}: {}",
+                    d.len4
+                );
             }
         }
     }

@@ -42,8 +42,11 @@ impl MinRouteTable {
         let mut next = vec![0u32; n * n];
         for s in 0..n as u32 {
             for d in 0..n as u32 {
-                next[s as usize * n + d as usize] =
-                    if s == d { s } else { next_hop_minimal(pf, s, d) };
+                next[s as usize * n + d as usize] = if s == d {
+                    s
+                } else {
+                    next_hop_minimal(pf, s, d)
+                };
             }
         }
         MinRouteTable { n, next }
@@ -122,7 +125,11 @@ mod tests {
             for s in 0..pf.router_count() as u32 {
                 for d in 0..pf.router_count() as u32 {
                     let route = table.route(s, d);
-                    assert_eq!(route.len() as u32 - 1, u32::from(dm.get(s, d)), "q={q} {s}->{d}");
+                    assert_eq!(
+                        route.len() as u32 - 1,
+                        u32::from(dm.get(s, d)),
+                        "q={q} {s}->{d}"
+                    );
                     for hop in route.windows(2) {
                         assert!(pf.graph().has_edge(hop[0], hop[1]));
                     }

@@ -79,17 +79,32 @@ pub fn census(pf: &PolarFly, layout: &Layout) -> TriangleCensus {
     let mut by_type = [0u64; 4];
     gt::for_each(pf.graph(), |a, b, c| {
         total += 1;
-        let (ca, cb, cc) = (layout.cluster_of(a), layout.cluster_of(b), layout.cluster_of(c));
+        let (ca, cb, cc) = (
+            layout.cluster_of(a),
+            layout.cluster_of(b),
+            layout.cluster_of(c),
+        );
         if ca == cb && cb == cc {
             intra += 1;
         } else {
-            debug_assert!(ca != cb && cb != cc && ca != cc, "Prop V.6: triangles never span exactly two clusters");
+            debug_assert!(
+                ca != cb && cb != cc && ca != cc,
+                "Prop V.6: triangles never span exactly two clusters"
+            );
             inter += 1;
-            let v1s = [a, b, c].iter().filter(|&&v| pf.class(v) == VertexClass::V1).count();
+            let v1s = [a, b, c]
+                .iter()
+                .filter(|&&v| pf.class(v) == VertexClass::V1)
+                .count();
             by_type[3 - v1s] += 1;
         }
     });
-    TriangleCensus { total, intra_cluster: intra, inter_cluster: inter, inter_by_type: by_type }
+    TriangleCensus {
+        total,
+        intra_cluster: intra,
+        inter_cluster: inter,
+        inter_by_type: by_type,
+    }
 }
 
 /// Verifies Theorem V.7: every triplet of non-quadric clusters is joined by
@@ -101,7 +116,11 @@ pub fn cluster_triplet_design_holds(pf: &PolarFly, layout: &Layout) -> bool {
     let mut counts = vec![0u32; q * q * q];
     let mut ok = true;
     gt::for_each(pf.graph(), |a, b, c| {
-        let mut cs = [layout.cluster_of(a), layout.cluster_of(b), layout.cluster_of(c)];
+        let mut cs = [
+            layout.cluster_of(a),
+            layout.cluster_of(b),
+            layout.cluster_of(c),
+        ];
         cs.sort_unstable();
         if cs[0] == cs[1] {
             return; // intra-cluster
@@ -177,8 +196,14 @@ mod tests {
             let measured = census(&pf, &layout);
             let expected = expected_census(q);
             assert_eq!(measured, expected, "q={q}");
-            assert_eq!(measured.intra_cluster + measured.inter_cluster, measured.total);
-            assert_eq!(measured.inter_by_type.iter().sum::<u64>(), measured.inter_cluster);
+            assert_eq!(
+                measured.intra_cluster + measured.inter_cluster,
+                measured.total
+            );
+            assert_eq!(
+                measured.inter_by_type.iter().sum::<u64>(),
+                measured.inter_cluster
+            );
         }
     }
 
@@ -214,7 +239,11 @@ mod tests {
         // triangle; edges between non-quadrics lie in exactly one.
         let pf = PolarFly::new(9).unwrap();
         for &(u, v) in pf.graph().edges() {
-            let expect = if pf.is_quadric(u) || pf.is_quadric(v) { 0 } else { 1 };
+            let expect = if pf.is_quadric(u) || pf.is_quadric(v) {
+                0
+            } else {
+                1
+            };
             assert_eq!(gt::edge_support(pf.graph(), u, v), expect);
         }
     }
@@ -224,7 +253,13 @@ mod tests {
         // §V-C.2: fan triangles pair (V1,V1) or (V2,V2) with the center if
         // q ≡ 1 (mod 4), and (V1,V2) if q ≡ 3 (mod 4). Fig. 13 visualizes
         // this for q = 17 vs 19.
-        for (q, mixed) in [(13u64, false), (17, false), (7, true), (11, true), (19, true)] {
+        for (q, mixed) in [
+            (13u64, false),
+            (17, false),
+            (7, true),
+            (11, true),
+            (19, true),
+        ] {
             let pf = PolarFly::new(q).unwrap();
             let layout = Layout::new(&pf);
             for i in 1..=q as u32 {

@@ -27,7 +27,9 @@ pub enum GfError {
 impl fmt::Display for GfError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            GfError::NotPrimePower(q) => write!(f, "{q} is not a prime power; no field GF({q}) exists"),
+            GfError::NotPrimePower(q) => {
+                write!(f, "{q} is not a prime power; no field GF({q}) exists")
+            }
             GfError::TooLarge(q) => write!(f, "GF({q}) exceeds the supported table size (2^20)"),
         }
     }
@@ -328,10 +330,12 @@ mod tests {
     use super::*;
 
     fn fields_under_test() -> Vec<Gf> {
-        [2u64, 3, 4, 5, 7, 8, 9, 11, 13, 16, 17, 19, 23, 25, 27, 31, 32, 49]
-            .iter()
-            .map(|&q| Gf::new(q).unwrap())
-            .collect()
+        [
+            2u64, 3, 4, 5, 7, 8, 9, 11, 13, 16, 17, 19, 23, 25, 27, 31, 32, 49,
+        ]
+        .iter()
+        .map(|&q| Gf::new(q).unwrap())
+        .collect()
     }
 
     #[test]
@@ -411,7 +415,10 @@ mod tests {
 
     #[test]
     fn squares_split_group_in_half_for_odd_q() {
-        for f in fields_under_test().iter().filter(|f| f.characteristic() != 2) {
+        for f in fields_under_test()
+            .iter()
+            .filter(|f| f.characteristic() != 2)
+        {
             let squares = (1..f.order()).filter(|&a| f.is_square(a)).count() as u32;
             assert_eq!(squares, (f.order() - 1) / 2);
             // is_square agrees with brute force
@@ -441,8 +448,14 @@ mod tests {
 
     #[test]
     fn error_messages_are_informative() {
-        assert!(Gf::new(6).unwrap_err().to_string().contains("not a prime power"));
-        assert!(Gf::new(1 << 21).unwrap_err().to_string().contains("table size"));
+        assert!(Gf::new(6)
+            .unwrap_err()
+            .to_string()
+            .contains("not a prime power"));
+        assert!(Gf::new(1 << 21)
+            .unwrap_err()
+            .to_string()
+            .contains("table size"));
     }
 
     #[test]

@@ -137,7 +137,9 @@ mod tests {
             for i in 0..n {
                 for j in (i + 1)..n {
                     let (a, b) = (pg.point(i), pg.point(j));
-                    let l = pg.line_through(&a, &b).expect("distinct points span a line");
+                    let l = pg
+                        .line_through(&a, &b)
+                        .expect("distinct points span a line");
                     assert!(pg.incident(&a, &l) && pg.incident(&b, &l));
                     // Uniqueness: no other line contains both.
                     let count = (0..n)

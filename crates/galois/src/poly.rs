@@ -233,7 +233,18 @@ mod tests {
 
     #[test]
     fn finds_irreducible_for_every_needed_field() {
-        for (p, m) in [(2u32, 2u32), (2, 3), (2, 4), (2, 5), (3, 2), (3, 3), (5, 2), (5, 3), (7, 2), (11, 2)] {
+        for (p, m) in [
+            (2u32, 2u32),
+            (2, 3),
+            (2, 4),
+            (2, 5),
+            (3, 2),
+            (3, 3),
+            (5, 2),
+            (5, 3),
+            (7, 2),
+            (11, 2),
+        ] {
             let f = find_irreducible(p, m);
             assert_eq!(degree(&f), Some(m as usize));
             assert!(is_irreducible(&f, p));

@@ -42,7 +42,11 @@ impl V3 {
     /// Scalar multiple `c · v`.
     #[inline]
     pub fn scale(&self, c: u32, f: &Gf) -> V3 {
-        V3([f.mul(c, self.0[0]), f.mul(c, self.0[1]), f.mul(c, self.0[2])])
+        V3([
+            f.mul(c, self.0[0]),
+            f.mul(c, self.0[1]),
+            f.mul(c, self.0[2]),
+        ])
     }
 
     /// Cross product `v × w`; orthogonal to both operands — the algebraic
@@ -111,14 +115,20 @@ impl ProjectivePoints {
         } else if idx == q * q + q {
             V3([0, 0, 1])
         } else {
-            panic!("projective point index {idx} out of range for q = {}", self.q)
+            panic!(
+                "projective point index {idx} out of range for q = {}",
+                self.q
+            )
         }
     }
 
     /// The index of a **left-normalized** point.
     #[inline]
     pub fn index(&self, v: &V3) -> usize {
-        debug_assert!(v.is_normalized(), "index() requires a left-normalized vector");
+        debug_assert!(
+            v.is_normalized(),
+            "index() requires a left-normalized vector"
+        );
         let q = self.q as usize;
         match v.0 {
             [1, y, z] => y as usize * q + z as usize,
@@ -257,7 +267,10 @@ pub fn line_points(l: &V3, f: &Gf) -> Vec<V3> {
             f.add(e1.0[1], f.mul(t, e2.0[1])),
             f.add(e1.0[2], f.mul(t, e2.0[2])),
         ]);
-        out.push(p.normalize(f).expect("e1 + t·e2 is nonzero for independent e1, e2"));
+        out.push(
+            p.normalize(f)
+                .expect("e1 + t·e2 is nonzero for independent e1, e2"),
+        );
     }
     out.push(e2.normalize(f).expect("basis vector is nonzero"));
     out

@@ -90,7 +90,12 @@ impl DistanceMatrix {
     /// Diameter over reachable pairs only (the "observed" diameter reported
     /// for partially failed networks before disconnection is detected).
     pub fn diameter_reachable(&self) -> u32 {
-        self.dist.iter().copied().filter(|&d| d != UNREACHABLE).max().map_or(0, u32::from)
+        self.dist
+            .iter()
+            .copied()
+            .filter(|&d| d != UNREACHABLE)
+            .max()
+            .map_or(0, u32::from)
     }
 
     /// Average shortest path length over ordered reachable pairs `u ≠ v`.

@@ -18,7 +18,10 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// A builder for a graph on `n` vertices.
     pub fn new(n: usize) -> Self {
-        GraphBuilder { n, edges: Vec::new() }
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Adds the undirected edge `{u, v}`. Panics on out-of-range vertices
@@ -26,7 +29,10 @@ impl GraphBuilder {
     /// "self-loops" in `ER_q` are modelled structurally, not as edges).
     pub fn add_edge(&mut self, u: u32, v: u32) {
         assert!(u != v, "self-loop {u}-{v} rejected");
-        assert!((u as usize) < self.n && (v as usize) < self.n, "edge {u}-{v} out of range");
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "edge {u}-{v} out of range"
+        );
         let e = if u < v { (u, v) } else { (v, u) };
         self.edges.push(e);
     }
@@ -112,7 +118,11 @@ impl Csr {
             let (s, e) = (offsets[i] as usize, offsets[i + 1] as usize);
             neighbors[s..e].sort_unstable();
         }
-        Csr { offsets, neighbors, edges }
+        Csr {
+            offsets,
+            neighbors,
+            edges,
+        }
     }
 
     /// Builds directly from an arbitrary edge list (deduplicated here).
@@ -149,12 +159,18 @@ impl Csr {
 
     /// Maximum degree over all vertices.
     pub fn max_degree(&self) -> usize {
-        (0..self.vertex_count() as u32).map(|v| self.degree(v)).max().unwrap_or(0)
+        (0..self.vertex_count() as u32)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Minimum degree over all vertices.
     pub fn min_degree(&self) -> usize {
-        (0..self.vertex_count() as u32).map(|v| self.degree(v)).min().unwrap_or(0)
+        (0..self.vertex_count() as u32)
+            .map(|v| self.degree(v))
+            .min()
+            .unwrap_or(0)
     }
 
     /// Sorted neighbors of `v`.

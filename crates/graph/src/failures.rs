@@ -45,7 +45,11 @@ struct UnionFind {
 
 impl UnionFind {
     fn new(n: usize) -> Self {
-        UnionFind { parent: (0..n as u32).collect(), size: vec![1; n], components: n }
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            components: n,
+        }
     }
 
     fn find(&mut self, mut v: u32) -> u32 {
@@ -61,7 +65,11 @@ impl UnionFind {
         if ra == rb {
             return;
         }
-        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] { (ra, rb) } else { (rb, ra) };
+        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
         self.parent[small as usize] = big;
         self.size[big as usize] += self.size[small as usize];
         self.components -= 1;
@@ -123,7 +131,10 @@ pub fn failure_trial(g: &Csr, checkpoints: &[f64], seed: u64) -> FailureTrial {
         })
         .collect();
 
-    FailureTrial { disconnect_ratio, curve }
+    FailureTrial {
+        disconnect_ratio,
+        curve,
+    }
 }
 
 /// Runs `trials` seeded failure experiments (Rayon-parallel), returning
@@ -131,7 +142,12 @@ pub fn failure_trial(g: &Csr, checkpoints: &[f64], seed: u64) -> FailureTrial {
 /// `checkpoints` are evaluated only for the median trial — evaluating the
 /// full metric curve for all 100 trials would dominate runtime without
 /// changing the reported figure.
-pub fn median_failure_trial(g: &Csr, trials: usize, checkpoints: &[f64], seed: u64) -> (f64, FailureTrial) {
+pub fn median_failure_trial(
+    g: &Csr,
+    trials: usize,
+    checkpoints: &[f64],
+    seed: u64,
+) -> (f64, FailureTrial) {
     assert!(trials >= 1);
     let mut ratios: Vec<(f64, u64)> = (0..trials as u64)
         .into_par_iter()
@@ -140,7 +156,10 @@ pub fn median_failure_trial(g: &Csr, trials: usize, checkpoints: &[f64], seed: u
             let mut order: Vec<(u32, u32)> = g.edges().to_vec();
             let mut rng = StdRng::seed_from_u64(s);
             order.shuffle(&mut rng);
-            (disconnect_prefix(g, &order) as f64 / g.edge_count() as f64, s)
+            (
+                disconnect_prefix(g, &order) as f64 / g.edge_count() as f64,
+                s,
+            )
         })
         .collect();
     ratios.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
@@ -182,7 +201,7 @@ mod tests {
         assert_eq!(t.curve.len(), 3);
         assert!(t.curve[0].connected);
         assert_eq!(t.curve[0].diameter, 6); // circulant C24(1,2) diameter
-        // ASPL can only grow (or stay) as links fail, while connected.
+                                            // ASPL can only grow (or stay) as links fail, while connected.
         let connected: Vec<&FailurePoint> = t.curve.iter().filter(|p| p.connected).collect();
         for w in connected.windows(2) {
             assert!(w[1].aspl >= w[0].aspl - 1e-12);

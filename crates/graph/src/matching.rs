@@ -45,7 +45,14 @@ pub fn maximum_matching(n: usize, allowed: &[Vec<u32>]) -> Vec<u32> {
     }
 
     for u in 0..n as u32 {
-        try_augment(u, allowed, &mut match_left, &mut match_right, &mut visited, u);
+        try_augment(
+            u,
+            allowed,
+            &mut match_left,
+            &mut match_right,
+            &mut visited,
+            u,
+        );
     }
     match_left
 }
@@ -96,7 +103,10 @@ mod tests {
         let m = random_perfect_matching(3, &allowed, 5).unwrap();
         for (u, &v) in m.iter().enumerate() {
             assert!(allowed[u].contains(&v));
-            assert_ne!(u as u32, v, "this instance is a derangement by construction");
+            assert_ne!(
+                u as u32, v,
+                "this instance is a derangement by construction"
+            );
         }
     }
 

@@ -62,8 +62,16 @@ pub fn bisect(g: &Csr, restarts: usize, seed: u64) -> Bisection {
         Some(r) if r.1 < spectral.1 => r,
         _ => spectral,
     };
-    let cut_fraction = if g.edge_count() == 0 { 0.0 } else { cut_edges as f64 / g.edge_count() as f64 };
-    Bisection { side, cut_edges, cut_fraction }
+    let cut_fraction = if g.edge_count() == 0 {
+        0.0
+    } else {
+        cut_edges as f64 / g.edge_count() as f64
+    };
+    Bisection {
+        side,
+        cut_edges,
+        cut_fraction,
+    }
 }
 
 /// Convenience wrapper returning only the cut fraction.
@@ -73,7 +81,10 @@ pub fn bisection_cut_fraction(g: &Csr, restarts: usize, seed: u64) -> f64 {
 
 /// Number of edges crossing the given side assignment.
 pub fn cut_size(g: &Csr, side: &[bool]) -> usize {
-    g.edges().iter().filter(|&&(u, v)| side[u as usize] != side[v as usize]).count()
+    g.edges()
+        .iter()
+        .filter(|&&(u, v)| side[u as usize] != side[v as usize])
+        .count()
 }
 
 fn random_balanced(n: usize, rng: &mut StdRng) -> Vec<bool> {

@@ -34,11 +34,19 @@ pub fn random_regular(n: usize, k: usize, seed: u64) -> Csr {
 
 fn try_build(n: usize, k: usize, rng: &mut StdRng) -> Option<Csr> {
     // Pairing model: k stubs per vertex, shuffled, paired consecutively.
-    let mut stubs: Vec<u32> = (0..n as u32).flat_map(|v| std::iter::repeat_n(v, k)).collect();
+    let mut stubs: Vec<u32> = (0..n as u32)
+        .flat_map(|v| std::iter::repeat_n(v, k))
+        .collect();
     stubs.shuffle(rng);
     let mut edges: Vec<(u32, u32)> = stubs
         .chunks_exact(2)
-        .map(|c| if c[0] < c[1] { (c[0], c[1]) } else { (c[1], c[0]) })
+        .map(|c| {
+            if c[0] < c[1] {
+                (c[0], c[1])
+            } else {
+                (c[1], c[0])
+            }
+        })
         .collect();
 
     // Repair pass: swap bad edges (self-loops / duplicates) with random

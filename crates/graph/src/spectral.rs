@@ -142,7 +142,11 @@ mod tests {
         let s = spectrum(&b.build(), 3000, 2);
         assert!((s.lambda1 - 2.0).abs() < 1e-3);
         let expect = 2.0 * (std::f64::consts::PI / n as f64).cos();
-        assert!((s.lambda2_abs - expect).abs() < 1e-2, "λ2 = {}", s.lambda2_abs);
+        assert!(
+            (s.lambda2_abs - expect).abs() < 1e-2,
+            "λ2 = {}",
+            s.lambda2_abs
+        );
     }
 
     #[test]
@@ -173,7 +177,10 @@ mod tests {
         }
         b.add_edge(0, 8);
         let s = spectrum(&b.build(), 800, 4);
-        assert!(s.lambda2_abs > 0.9 * s.lambda1, "dumbbell should have tiny spectral gap");
+        assert!(
+            s.lambda2_abs > 0.9 * s.lambda1,
+            "dumbbell should have tiny spectral gap"
+        );
         assert!(s.expansion_lower_bound < 0.5);
     }
 }

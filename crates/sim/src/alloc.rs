@@ -1,0 +1,290 @@
+//! Switch allocation: iterated separable request–grant–accept (iSLIP
+//! style) over transit VC heads and injection streams.
+//!
+//! Each iteration, every eligible head registers a request at its output
+//! link; each requested output grants one requester (rotating priority,
+//! packet-continuation first); each input port accepts at most one grant.
+//! Accepted flits traverse the switch immediately — the router pipeline
+//! is charged downstream as a fixed `pipeline_delay` on arrival (see
+//! DESIGN.md).
+
+use crate::engine::{net_view, Engine};
+use crate::flow::Arrival;
+use crate::router::NONE32;
+use crate::routing::HopContext;
+
+/// A requester in the request–grant–accept allocation.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum ReqSrc {
+    /// A transit VC head (input buffer queue index).
+    Transit { queue: u32 },
+    /// An injection stream (`router`'s stream `stream`).
+    Inject { router: u32, stream: u32 },
+}
+
+/// One registered request at an output link.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Req {
+    pub(crate) out_buf: u32,
+    pub(crate) src: ReqSrc,
+}
+
+impl Engine<'_> {
+    /// Request phase: every ready VC head (with an allocated or
+    /// allocatable output VC, downstream credit, and a free output link)
+    /// and every sendable injection stream registers a request at its
+    /// output link.
+    pub(crate) fn build_requests(&mut self, cycle: u32) {
+        for &o in &self.touched_outputs {
+            self.requests[o as usize].clear();
+        }
+        self.touched_outputs.clear();
+
+        for r in 0..self.n {
+            let (lo, hi) = self.geom.ports(r);
+            for port in lo..hi {
+                if self.port_used[port as usize] || self.port_flits[port as usize] == 0 {
+                    continue;
+                }
+                for vc in 0..self.vcs {
+                    let qidx = port as usize * self.vcs + vc;
+                    let Some((pkt, seq, ready_at)) = self.bufs.front(qidx) else {
+                        continue;
+                    };
+                    if ready_at > cycle {
+                        continue;
+                    }
+                    if self.packets.dst[pkt as usize] == r as u32 {
+                        continue; // ejection handles it
+                    }
+                    // Route + VC allocation for a new head.
+                    if self.route_port[qidx] == NONE32 {
+                        debug_assert_eq!(seq, 0, "body flit without route");
+                        let target = self.transit_target(r as u32, pkt);
+                        let hop = HopContext {
+                            router: r as u32,
+                            target,
+                        };
+                        let i = self.algo.next_output(&net_view!(self), hop, &mut self.rng);
+                        let out_port = self.geom.downstream(r as u32, i as usize);
+                        // Class-indexed VC: hop h travels in class h, any
+                        // free VC within the class (deadlock freedom needs
+                        // paths of <= vc_classes hops; all routing
+                        // algorithms of the paper satisfy 4).
+                        let in_class = vc / self.per_class;
+                        debug_assert!(
+                            in_class + 1 < self.vcs / self.per_class,
+                            "path exceeded VC class budget"
+                        );
+                        let out_class = (in_class + 1).min(self.vcs / self.per_class - 1);
+                        let Some(ovc) = crate::flow::claim_vc(
+                            &mut self.out_owner,
+                            out_port,
+                            self.vcs,
+                            out_class,
+                            self.per_class,
+                        ) else {
+                            self.diag_vc_stalls += 1;
+                            continue; // all VCs of the class busy; retry
+                        };
+                        self.route_port[qidx] = out_port;
+                        self.route_vc[qidx] = ovc;
+                    }
+                    let out_port = self.route_port[qidx];
+                    let out_idx = out_port as usize * self.vcs + self.route_vc[qidx] as usize;
+                    if self.credits[out_idx] == 0 {
+                        self.diag_credit_stalls += 1;
+                        continue;
+                    }
+                    if self.out_taken[out_port as usize] {
+                        continue;
+                    }
+                    if self.requests[out_port as usize].is_empty() {
+                        self.touched_outputs.push(out_port);
+                    }
+                    self.requests[out_port as usize].push(Req {
+                        out_buf: out_idx as u32,
+                        src: ReqSrc::Transit { queue: qidx as u32 },
+                    });
+                }
+            }
+        }
+
+        // Injection lanes request their (pre-claimed) first-hop output.
+        for r in 0..self.n {
+            if self.inj_budget[r] == 0 {
+                continue;
+            }
+            for s in 0..self.inj.len(r) {
+                let slot = self.inj.slot(r, s);
+                if self.inj.next_seq[slot] >= self.cfg.packet_flits
+                    || self.inj.last_sent[slot] == cycle
+                {
+                    continue; // finished, or lane already sent this cycle
+                }
+                let out_buf = self.inj.out_buf[slot];
+                let out_port = (out_buf as usize) / self.vcs;
+                if self.out_taken[out_port] || self.credits[out_buf as usize] == 0 {
+                    continue;
+                }
+                if self.requests[out_port].is_empty() {
+                    self.touched_outputs.push(out_port as u32);
+                }
+                self.requests[out_port].push(Req {
+                    out_buf,
+                    src: ReqSrc::Inject {
+                        router: r as u32,
+                        stream: s,
+                    },
+                });
+            }
+        }
+    }
+
+    /// Resolves the transit routing target of `pkt` at router `r`,
+    /// honoring the Valiant phase (and recording mid passage).
+    fn transit_target(&mut self, r: u32, pkt: u32) -> u32 {
+        let p = pkt as usize;
+        let (mid, dst) = (self.packets.mid[p], self.packets.dst[p]);
+        if mid != NONE32 && !self.packets.passed_mid[p] {
+            if r == mid {
+                self.packets.passed_mid[p] = true;
+                dst
+            } else {
+                mid
+            }
+        } else {
+            dst
+        }
+    }
+
+    /// Grant + accept: each requested output grants one requester
+    /// (rotating start); each input port accepts at most one grant; an
+    /// injection grant is accepted if router bandwidth remains. Accepted
+    /// flits traverse the switch immediately.
+    pub(crate) fn grant_and_accept(&mut self, cycle: u32) {
+        // Reset input accept slots for the ports that could receive grants.
+        for gi in self.input_grant.iter_mut() {
+            *gi = u32::MAX;
+        }
+        // Grant phase: winner per output. Outputs processed in rotated
+        // order; inputs accept first-come, so rotation doubles as the
+        // accept tie-break.
+        let outs = std::mem::take(&mut self.touched_outputs);
+        let olen = outs.len();
+        let ostart = if olen == 0 {
+            0
+        } else {
+            (cycle as usize).wrapping_mul(0x9E37_79B9) % olen
+        };
+        for oi in 0..olen {
+            let out_port = outs[(ostart + oi) % olen] as usize;
+            if self.out_taken[out_port] {
+                continue;
+            }
+            let reqs = &self.requests[out_port];
+            if reqs.is_empty() {
+                continue;
+            }
+            let rstart = (cycle as usize ^ out_port).wrapping_mul(0x85EB_CA6B) % reqs.len();
+            let mut chosen = None;
+            // Packet-continuation priority: drain in-flight packets before
+            // granting new heads. Shorter output-VC hold times keep the VC
+            // classes from exhausting (the dominant stall otherwise).
+            'passes: for want_body in [true, false] {
+                for k in 0..reqs.len() {
+                    let req = reqs[(rstart + k) % reqs.len()];
+                    let is_body = match req.src {
+                        ReqSrc::Transit { queue } => self
+                            .bufs
+                            .front(queue as usize)
+                            .is_some_and(|(_, seq, _)| seq > 0),
+                        ReqSrc::Inject { router, stream } => {
+                            self.inj.next_seq[self.inj.slot(router as usize, stream)] > 0
+                        }
+                    };
+                    if is_body != want_body {
+                        continue;
+                    }
+                    match req.src {
+                        ReqSrc::Transit { queue } => {
+                            let in_port = (queue as usize) / self.vcs;
+                            if self.input_grant[in_port] != u32::MAX {
+                                continue; // input already accepted a grant
+                            }
+                            chosen = Some(req);
+                            self.input_grant[in_port] = queue;
+                            break 'passes;
+                        }
+                        ReqSrc::Inject { router, .. } => {
+                            if self.inj_budget[router as usize] == 0 {
+                                continue;
+                            }
+                            self.inj_budget[router as usize] -= 1;
+                            chosen = Some(req);
+                            break 'passes;
+                        }
+                    }
+                }
+            }
+            let Some(req) = chosen else {
+                self.diag_match_losses += 1;
+                continue;
+            };
+            // Traverse.
+            self.out_taken[out_port] = true;
+            self.link_flits[out_port] += 1;
+            self.credits[req.out_buf as usize] -= 1;
+            let arrive = cycle + self.cfg.link_latency;
+            match req.src {
+                ReqSrc::Transit { queue } => {
+                    let q = queue as usize;
+                    let (pkt, seq, _) = self.bufs.front(q).expect("requester nonempty");
+                    self.bufs.pop_front(q);
+                    self.port_flits[q / self.vcs] -= 1;
+                    self.credits[q] += 1;
+                    self.port_used[q / self.vcs] = true;
+                    self.pipeline.depart(
+                        arrive,
+                        Arrival {
+                            buf: req.out_buf,
+                            pkt,
+                            seq,
+                        },
+                    );
+                    if seq == self.cfg.packet_flits - 1 {
+                        // Tail flit: release the wormhole output VC.
+                        let op = self.route_port[q];
+                        debug_assert_ne!(op, NONE32, "tail without route");
+                        let ov = self.route_vc[q];
+                        self.out_owner[op as usize * self.vcs + ov as usize] = false;
+                        self.route_port[q] = NONE32;
+                    }
+                }
+                ReqSrc::Inject { router, stream } => {
+                    let slot = self.inj.slot(router as usize, stream);
+                    let seq = self.inj.next_seq[slot];
+                    self.pipeline.depart(
+                        arrive,
+                        Arrival {
+                            buf: self.inj.out_buf[slot],
+                            pkt: self.inj.pkt[slot],
+                            seq,
+                        },
+                    );
+                    self.inj.next_seq[slot] = seq + 1;
+                    self.inj.last_sent[slot] = cycle;
+                    if seq + 1 == self.cfg.packet_flits {
+                        self.out_owner[self.inj.out_buf[slot] as usize] = false;
+                    }
+                }
+            }
+        }
+        self.touched_outputs = outs;
+
+        // Sweep finished injection streams.
+        for r in 0..self.n {
+            self.inj.sweep_finished(r, self.cfg.packet_flits);
+        }
+    }
+}

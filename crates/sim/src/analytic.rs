@@ -89,7 +89,12 @@ mod tests {
         let p = 4usize;
         let topo = PolarFlyTopo::new(7, p).unwrap();
         let tables = RouteTables::build(topo.graph(), 1);
-        let dests = resolve(TrafficPattern::Tornado, topo.graph(), &topo.host_routers(), 1);
+        let dests = resolve(
+            TrafficPattern::Tornado,
+            topo.graph(),
+            &topo.host_routers(),
+            1,
+        );
         let a = analyze(&topo, &tables, &dests);
         assert!(a.max_link_load >= p as f64, "max load {}", a.max_link_load);
         assert!(a.saturation <= 1.0 / p as f64 + 1e-9);
@@ -102,7 +107,12 @@ mod tests {
         // paper's "very high saturation under random traffic").
         let topo = PolarFlyTopo::balanced(13).unwrap();
         let tables = RouteTables::build(topo.graph(), 1);
-        let dests = resolve(TrafficPattern::Uniform, topo.graph(), &topo.host_routers(), 1);
+        let dests = resolve(
+            TrafficPattern::Uniform,
+            topo.graph(),
+            &topo.host_routers(),
+            1,
+        );
         let a = analyze(&topo, &tables, &dests);
         assert!(a.imbalance < 1.1, "imbalance {}", a.imbalance);
         assert!(a.saturation > 0.9, "saturation {}", a.saturation);
@@ -113,7 +123,12 @@ mod tests {
         let p = 3usize;
         let topo = PolarFlyTopo::new(5, p).unwrap();
         let tables = RouteTables::build(topo.graph(), 1);
-        let dests = resolve(TrafficPattern::Perm1Hop, topo.graph(), &topo.host_routers(), 1);
+        let dests = resolve(
+            TrafficPattern::Perm1Hop,
+            topo.graph(),
+            &topo.host_routers(),
+            1,
+        );
         let a = analyze(&topo, &tables, &dests);
         assert!((a.max_link_load - p as f64).abs() < 1e-9);
         assert!((a.saturation - 1.0 / p as f64).abs() < 1e-9);
@@ -125,11 +140,22 @@ mod tests {
         // within its allocator-efficiency factor (~0.7–1.0).
         let topo = PolarFlyTopo::new(7, 4).unwrap();
         let tables = RouteTables::build(topo.graph(), 1);
-        let dests = resolve(TrafficPattern::Uniform, topo.graph(), &topo.host_routers(), 1);
+        let dests = resolve(
+            TrafficPattern::Uniform,
+            topo.graph(),
+            &topo.host_routers(),
+            1,
+        );
         let fluid = analyze(&topo, &tables, &dests);
-        let cfg = crate::engine::SimConfig { warmup: 300, measure: 700, drain_max: 500, ..Default::default() };
+        let cfg = crate::engine::SimConfig::default()
+            .warmup(300)
+            .measure(700)
+            .drain_max(500);
         let sim = crate::engine::simulate(&topo, &tables, &dests, crate::Routing::Min, 1.0, cfg);
-        assert!(sim.accepted_load <= fluid.saturation + 0.05, "sim above fluid bound");
+        assert!(
+            sim.accepted_load <= fluid.saturation + 0.05,
+            "sim above fluid bound"
+        );
         assert!(
             sim.accepted_load >= 0.6 * fluid.saturation,
             "sim {} too far below fluid bound {}",

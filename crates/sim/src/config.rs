@@ -1,0 +1,174 @@
+//! Simulator configuration.
+
+/// Simulator configuration (defaults follow §VIII-A of the paper).
+///
+/// Construct with [`SimConfig::default`] and chain the builder setters:
+///
+/// ```
+/// use pf_sim::SimConfig;
+///
+/// let cfg = SimConfig::default().warmup(300).measure(700).drain_max(1000);
+/// assert_eq!(cfg.warmup, 300);
+/// assert_eq!(cfg.packet_flits, 4); // untouched fields keep their defaults
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Flits per packet (paper: 4).
+    pub packet_flits: u16,
+    /// Virtual-channel *classes* — one per hop index, so paths of up to
+    /// `vc_classes` hops are deadlock-free (paper routes need 4).
+    pub vc_classes: u8,
+    /// VCs per class. Two per class lets consecutive packets of the same
+    /// hop class overlap their wormhole allocation on a link, compensating
+    /// for the inter-packet bubble our single-stage pipeline introduces
+    /// relative to BookSim's (see DESIGN.md).
+    pub vcs_per_class: u8,
+    /// Input buffer flits per port, shared evenly across VCs (paper: 128).
+    pub buffer_flits_per_port: u32,
+    /// Separable-allocator iterations per cycle (iSLIP-style).
+    pub alloc_iters: u8,
+    /// Router traversal delay in cycles (route + VC + switch pipeline).
+    pub pipeline_delay: u32,
+    /// Link traversal delay in cycles.
+    pub link_latency: u32,
+    /// Warmup cycles (not measured).
+    pub warmup: u32,
+    /// Measurement window in cycles.
+    pub measure: u32,
+    /// Maximum drain cycles past the measurement window.
+    pub drain_max: u32,
+    /// RNG seed (workload + tie-breaks).
+    pub seed: u64,
+    /// UGAL-PF adaptation threshold (paper: 2/3).
+    pub ugal_pf_threshold: f64,
+    /// How many queued packets each router may consider for injection per
+    /// cycle (head-of-line relief at the source).
+    pub inject_window: usize,
+    /// Stop generating new packets after this cycle (tests use this to
+    /// verify full drain; `u32::MAX` = generate throughout).
+    pub gen_cutoff: u32,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            packet_flits: 4,
+            vc_classes: 4,
+            vcs_per_class: 2,
+            buffer_flits_per_port: 128,
+            alloc_iters: 2,
+            pipeline_delay: 2,
+            link_latency: 1,
+            warmup: 1000,
+            measure: 2000,
+            drain_max: 4000,
+            seed: 1,
+            ugal_pf_threshold: 2.0 / 3.0,
+            inject_window: 16,
+            gen_cutoff: u32::MAX,
+        }
+    }
+}
+
+macro_rules! builder_setters {
+    ($($(#[$doc:meta])* $field:ident: $ty:ty),* $(,)?) => {$(
+        $(#[$doc])*
+        #[must_use]
+        pub fn $field(mut self, v: $ty) -> Self {
+            self.$field = v;
+            self
+        }
+    )*};
+}
+
+impl SimConfig {
+    /// A reduced-cycle configuration for quick shape checks and CI.
+    pub fn quick() -> Self {
+        SimConfig::default()
+            .warmup(300)
+            .measure(700)
+            .drain_max(1500)
+    }
+
+    builder_setters! {
+        /// Sets flits per packet.
+        packet_flits: u16,
+        /// Sets the VC class count (max deadlock-free path hops).
+        vc_classes: u8,
+        /// Sets VCs per class.
+        vcs_per_class: u8,
+        /// Sets input buffer flits per port.
+        buffer_flits_per_port: u32,
+        /// Sets allocator iterations per cycle.
+        alloc_iters: u8,
+        /// Sets the router pipeline delay (cycles).
+        pipeline_delay: u32,
+        /// Sets the link traversal delay (cycles).
+        link_latency: u32,
+        /// Sets warmup cycles.
+        warmup: u32,
+        /// Sets the measurement window (cycles).
+        measure: u32,
+        /// Sets the maximum drain length (cycles).
+        drain_max: u32,
+        /// Sets the RNG seed.
+        seed: u64,
+        /// Sets the UGAL-PF adaptation threshold.
+        ugal_pf_threshold: f64,
+        /// Sets the per-router injection consideration window.
+        inject_window: usize,
+        /// Sets the generation cutoff cycle.
+        gen_cutoff: u32,
+    }
+
+    /// Total virtual channels per port.
+    #[inline]
+    pub fn vcs(&self) -> usize {
+        usize::from(self.vc_classes) * usize::from(self.vcs_per_class)
+    }
+
+    /// Flit capacity of one VC buffer (per-port budget split across VCs,
+    /// floored at one packet so wormhole never wedges on capacity).
+    #[inline]
+    pub fn cap_per_vc(&self) -> u32 {
+        (self.buffer_flits_per_port / self.vcs() as u32).max(u32::from(self.packet_flits))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_config_is_consistent() {
+        let cfg = SimConfig::quick();
+        assert!(cfg.warmup < SimConfig::default().warmup);
+        assert_eq!(cfg.packet_flits, 4);
+        assert_eq!(cfg.vc_classes, 4);
+    }
+
+    #[test]
+    fn builders_touch_only_their_field() {
+        let cfg = SimConfig::default()
+            .seed(99)
+            .link_latency(3)
+            .inject_window(4);
+        let def = SimConfig::default();
+        assert_eq!(cfg.seed, 99);
+        assert_eq!(cfg.link_latency, 3);
+        assert_eq!(cfg.inject_window, 4);
+        assert_eq!(cfg.packet_flits, def.packet_flits);
+        assert_eq!(cfg.warmup, def.warmup);
+        assert_eq!(cfg.ugal_pf_threshold, def.ugal_pf_threshold);
+    }
+
+    #[test]
+    fn derived_geometry() {
+        let cfg = SimConfig::default();
+        assert_eq!(cfg.vcs(), 8);
+        assert_eq!(cfg.cap_per_vc(), 16);
+        // The per-VC floor: tiny buffers still hold one whole packet.
+        let tiny = SimConfig::default().buffer_flits_per_port(8);
+        assert_eq!(tiny.cap_per_vc(), 4);
+    }
+}

@@ -1,205 +1,124 @@
-//! The synchronous cycle engine: input-queued routers, wormhole switching,
-//! credit flow control, hop-indexed VCs, and a single-iteration separable
-//! allocator. See the crate docs for the model summary and DESIGN.md for
-//! the deviations from BookSim.
+//! The synchronous cycle engine: input-queued routers, wormhole
+//! switching, credit flow control, hop-indexed VCs, and an iterated
+//! separable allocator.
+//!
+//! This module owns the [`Engine`] state and the per-cycle orchestration;
+//! the mechanics live in sibling modules — [`crate::router`] (SoA state),
+//! [`crate::alloc`] (switch allocation), [`crate::flow`] (credits +
+//! wormhole), [`crate::inject`] (endpoint injection/ejection),
+//! [`crate::phase`] (warmup/measure/drain clock), and [`crate::routing`]
+//! (the pluggable [`RoutingAlgorithm`] layer). See the crate docs for the
+//! model summary and DESIGN.md for deviations from BookSim.
 
+pub use crate::config::SimConfig;
+
+use crate::alloc::Req;
+use crate::flow::LinkPipeline;
+use crate::packet::PacketPool;
+use crate::phase::PhaseClock;
+use crate::queues::SourceQueues;
+use crate::router::{FlitRings, InjPool, PortMap, NONE32};
+use crate::routing::{MinHop, RoutingAlgorithm};
 use crate::stats::{LatencyStats, SimResult};
 use crate::tables::RouteTables;
 use crate::traffic::DestMap;
 use crate::Routing;
+use pf_graph::Csr;
 use pf_topo::Topology;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::collections::VecDeque;
+use rand::SeedableRng;
 
-/// Simulator configuration (defaults follow §VIII-A of the paper).
-#[derive(Debug, Clone)]
-pub struct SimConfig {
-    /// Flits per packet (paper: 4).
-    pub packet_flits: u16,
-    /// Virtual-channel *classes* — one per hop index, so paths of up to
-    /// `vc_classes` hops are deadlock-free (paper routes need 4).
-    pub vc_classes: u8,
-    /// VCs per class. Two per class lets consecutive packets of the same
-    /// hop class overlap their wormhole allocation on a link, compensating
-    /// for the inter-packet bubble our single-stage pipeline introduces
-    /// relative to BookSim's (see DESIGN.md).
-    pub vcs_per_class: u8,
-    /// Input buffer flits per port, shared evenly across VCs (paper: 128).
-    pub buffer_flits_per_port: u32,
-    /// Separable-allocator iterations per cycle (iSLIP-style).
-    pub alloc_iters: u8,
-    /// Router traversal delay in cycles (route + VC + switch pipeline).
-    pub pipeline_delay: u32,
-    /// Link traversal delay in cycles.
-    pub link_latency: u32,
-    /// Warmup cycles (not measured).
-    pub warmup: u32,
-    /// Measurement window in cycles.
-    pub measure: u32,
-    /// Maximum drain cycles past the measurement window.
-    pub drain_max: u32,
-    /// RNG seed (workload + tie-breaks).
-    pub seed: u64,
-    /// UGAL-PF adaptation threshold (paper: 2/3).
-    pub ugal_pf_threshold: f64,
-    /// How many queued packets each router may consider for injection per
-    /// cycle (head-of-line relief at the source).
-    pub inject_window: usize,
-    /// Stop generating new packets after this cycle (tests use this to
-    /// verify full drain; `u32::MAX` = generate throughout).
-    pub gen_cutoff: u32,
-}
-
-impl Default for SimConfig {
-    fn default() -> Self {
-        SimConfig {
-            packet_flits: 4,
-            vc_classes: 4,
-            vcs_per_class: 2,
-            buffer_flits_per_port: 128,
-            alloc_iters: 2,
-            pipeline_delay: 2,
-            link_latency: 1,
-            warmup: 1000,
-            measure: 2000,
-            drain_max: 4000,
-            seed: 1,
-            ugal_pf_threshold: 2.0 / 3.0,
-            inject_window: 16,
-            gen_cutoff: u32::MAX,
+/// Builds the read-only [`crate::routing::NetState`] view from disjoint
+/// `Engine` fields, so a routing call can run while `self.rng` is
+/// mutably borrowed.
+macro_rules! net_view {
+    ($e:expr) => {
+        $crate::routing::NetState {
+            tables: $e.tables,
+            graph: $e.graph,
+            geom: &$e.geom,
+            credits: &$e.credits,
+            inj_wait: &$e.inj_wait,
+            vcs: $e.vcs,
+            per_class: $e.per_class,
+            cap_per_vc: $e.cap_per_vc,
+            packet_flits: $e.cfg.packet_flits,
+            ugal_pf_threshold: $e.cfg.ugal_pf_threshold,
         }
-    }
+    };
 }
-
-impl SimConfig {
-    /// A reduced-cycle configuration for quick shape checks and CI.
-    pub fn quick() -> Self {
-        SimConfig { warmup: 300, measure: 700, drain_max: 1500, ..SimConfig::default() }
-    }
-}
-
-const NO_MID: u32 = u32::MAX;
-
-#[derive(Debug, Clone)]
-struct Packet {
-    dst: u32,
-    /// Valiant intermediate (`NO_MID` = minimal).
-    mid: u32,
-    birth: u32,
-    measured: bool,
-    passed_mid: bool,
-    /// The minimal first-hop link this packet charged in `inj_wait` while
-    /// queued at the source (u32::MAX once injected).
-    min_first_link: u32,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct BufFlit {
-    pkt: u32,
-    seq: u16,
-    ready_at: u32,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct InjStream {
-    pkt: u32,
-    next_seq: u16,
-    /// Destination buffer of the first link (a class-0 VC at the first-hop
-    /// router's input).
-    out_buf: u32,
-    /// Cycle this lane last sent a flit (each endpoint lane injects at
-    /// most 1 flit/cycle — its physical channel bandwidth).
-    last_sent: u32,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct Arrival {
-    buf: u32,
-    pkt: u32,
-    seq: u16,
-}
-
-/// A requester in the iSLIP request–grant–accept allocation.
-#[derive(Debug, Clone, Copy)]
-enum ReqSrc {
-    /// A transit VC head (input buffer queue index).
-    Transit { queue: u32 },
-    /// An injection stream (`active_inj[router][stream]`).
-    Inject { router: u32, stream: u32 },
-}
-
-#[derive(Debug, Clone, Copy)]
-struct Req {
-    out_buf: u32,
-    src: ReqSrc,
-}
+pub(crate) use net_view;
 
 /// One simulation instance at a fixed offered load.
 pub struct Engine<'a> {
-    topo: &'a dyn Topology,
-    tables: &'a RouteTables,
-    dests: &'a DestMap,
-    routing: Routing,
-    cfg: SimConfig,
-    load: f64,
+    pub(crate) topo: &'a dyn Topology,
+    pub(crate) graph: &'a Csr,
+    pub(crate) tables: &'a RouteTables,
+    pub(crate) dests: &'a DestMap,
+    pub(crate) algo: Box<dyn RoutingAlgorithm + 'a>,
+    /// Minimal next-hop source for bookkeeping outside the algorithm
+    /// (the `inj_wait` first-hop charge): algebraic when the topology
+    /// advertises it, table otherwise.
+    pub(crate) min_hop: MinHop<'a>,
+    pub(crate) cfg: SimConfig,
+    pub(crate) load: f64,
 
-    n: usize,
-    vcs: usize,
-    per_class: usize,
-    cap_per_vc: u32,
-    /// Prefix sum of router degrees; input port `port_base[r] + i` receives
-    /// from `neighbors(r)[i]`.
-    port_base: Vec<u32>,
-    /// For input port `p` at router `r` with peer `s`: the input port id at
-    /// `s` whose peer is `r` (i.e. the link r→s seen from r's side).
-    out_link: Vec<u32>,
+    pub(crate) n: usize,
+    pub(crate) vcs: usize,
+    pub(crate) per_class: usize,
+    pub(crate) cap_per_vc: u32,
+    /// Endpoints per router (cached: the hot loops hit this every cycle).
+    pub(crate) endpoints: Vec<u32>,
+    pub(crate) geom: PortMap,
 
-    /// Input buffers, indexed `port * vcs + vc`.
-    buf: Vec<VecDeque<BufFlit>>,
-    /// Free slots in each input buffer (sender's credit view).
-    credits: Vec<u32>,
-    /// Wormhole allocation of the packet at each queue head.
-    in_route: Vec<Option<(u32, u8)>>,
-    /// Whether the (link, vc) output is owned by an in-flight packet.
-    out_owner: Vec<bool>,
+    /// All (port, VC) input buffers as flat SoA ring buffers.
+    pub(crate) bufs: FlitRings,
+    /// Free slots per input-buffer queue (the sender's credit view).
+    pub(crate) credits: Vec<u32>,
+    /// Wormhole allocation of the packet at each queue head: downstream
+    /// input port (`NONE32` = unrouted) and VC.
+    pub(crate) route_port: Vec<u32>,
+    pub(crate) route_vc: Vec<u8>,
+    /// Whether each (link, VC) output is owned by an in-flight packet.
+    pub(crate) out_owner: Vec<bool>,
 
-    source_q: Vec<VecDeque<u32>>,
-    active_inj: Vec<Vec<InjStream>>,
+    pub(crate) src_q: SourceQueues,
+    pub(crate) inj: InjPool,
+    pub(crate) pipeline: LinkPipeline,
+    pub(crate) packets: PacketPool,
 
-    ring: Vec<Vec<Arrival>>,
-    packets: Vec<Packet>,
-    free_pkts: Vec<u32>,
-
-    rng: StdRng,
-    cycle: u32,
+    pub(crate) rng: StdRng,
+    pub(crate) cycle: u32,
+    pub(crate) clock: PhaseClock,
 
     // Statistics.
-    stats: LatencyStats,
-    measured_generated: u64,
-    measured_delivered: u64,
-    window_flits_ejected: u64,
-    total_generated: u64,
-    total_delivered: u64,
+    pub(crate) stats: LatencyStats,
+    pub(crate) measured_generated: u64,
+    pub(crate) measured_delivered: u64,
+    pub(crate) window_flits_ejected: u64,
+    pub(crate) total_generated: u64,
+    pub(crate) total_delivered: u64,
 
     // Per-cycle scratch (reused allocations).
-    port_used: Vec<bool>,
-    out_taken: Vec<bool>,
-    requests: Vec<Vec<Req>>,
-    touched_outputs: Vec<u32>,
-    /// Per-round accepted grant per input port (`u32::MAX` = none); holds
-    /// an index into the flattened grant list.
-    input_grant: Vec<u32>,
+    pub(crate) port_used: Vec<bool>,
+    pub(crate) out_taken: Vec<bool>,
+    pub(crate) requests: Vec<Vec<Req>>,
+    pub(crate) touched_outputs: Vec<u32>,
+    /// Per-round accepted grant per input port (`u32::MAX` = none).
+    pub(crate) input_grant: Vec<u32>,
     /// Remaining injection bandwidth (flits) per router this cycle.
-    inj_budget: Vec<u32>,
+    pub(crate) inj_budget: Vec<u32>,
     /// Buffered flits per input port — lets the hot loops skip empty ports.
-    port_flits: Vec<u32>,
+    pub(crate) port_flits: Vec<u32>,
     /// Packets waiting in source queues, per minimal first-hop link — the
     /// virtual-output-queue component of the UGAL congestion signal. Under
     /// permutation traffic the bottleneck link stays busy (its buffers
     /// drain as fast as they fill), so source-side backlog is the only
     /// observable congestion at the injecting router.
-    inj_wait: Vec<u32>,
+    pub(crate) inj_wait: Vec<u32>,
+    /// Scratch for the per-router injection window.
+    pub(crate) started_scratch: Vec<usize>,
+
     /// Flits sent per link (indexed by downstream input port) — exposed
     /// for utilization analysis and ablation benches.
     pub link_flits: Vec<u64>,
@@ -214,8 +133,10 @@ pub struct Engine<'a> {
 }
 
 impl<'a> Engine<'a> {
-    /// Builds an engine for one run. `tables` and `dests` are shared across
-    /// runs of the same topology/pattern.
+    /// Builds an engine for one run, instantiating `routing` through the
+    /// [`RoutingAlgorithm`] layer (PolarFly topologies automatically get
+    /// the table-free algebraic minimal fast path). `tables` and `dests`
+    /// are shared across runs of the same topology/pattern.
     pub fn new(
         topo: &'a dyn Topology,
         tables: &'a RouteTables,
@@ -224,54 +145,70 @@ impl<'a> Engine<'a> {
         load: f64,
         cfg: SimConfig,
     ) -> Self {
+        let algo = routing.algorithm(topo);
+        Engine::with_algorithm(topo, tables, dests, algo, load, cfg)
+    }
+
+    /// Builds an engine around a caller-supplied routing algorithm (the
+    /// extension point the [`Routing`] enum wraps).
+    pub fn with_algorithm(
+        topo: &'a dyn Topology,
+        tables: &'a RouteTables,
+        dests: &'a DestMap,
+        algo: Box<dyn RoutingAlgorithm + 'a>,
+        load: f64,
+        cfg: SimConfig,
+    ) -> Self {
         let g = topo.graph();
         let n = g.vertex_count();
         assert_eq!(tables.router_count(), n);
-        assert!((0.0..=1.0).contains(&load), "offered load must be in [0, 1]");
-        let vcs = cfg.vc_classes as usize * cfg.vcs_per_class as usize;
-        let cap_per_vc =
-            (cfg.buffer_flits_per_port / vcs as u32).max(u32::from(cfg.packet_flits));
+        assert!(
+            (0.0..=1.0).contains(&load),
+            "offered load must be in [0, 1]"
+        );
+        let vcs = cfg.vcs();
+        let cap_per_vc = cfg.cap_per_vc();
 
-        let mut port_base = vec![0u32; n + 1];
-        for r in 0..n {
-            port_base[r + 1] = port_base[r] + g.degree(r as u32) as u32;
-        }
-        let num_ports = port_base[n] as usize;
-
-        // out_link[port_base[r]+i] = input port at t=neighbors(r)[i] with peer r.
-        let mut out_link = vec![0u32; num_ports];
-        for r in 0..n as u32 {
-            for (i, &t) in g.neighbors(r).iter().enumerate() {
-                let j = g.neighbors(t).binary_search(&r).expect("undirected graph") as u32;
-                out_link[(port_base[r as usize] + i as u32) as usize] = port_base[t as usize] + j;
-            }
-        }
-
+        let geom = PortMap::build(g);
+        let num_ports = geom.num_ports();
         let queues = num_ports * vcs;
+
+        let endpoints: Vec<u32> = (0..n as u32).map(|r| topo.endpoints(r) as u32).collect();
+        // Up to 2p concurrent streams share p flits/cycle of aggregate
+        // endpoint bandwidth: each stream is rate-limited to 1 flit/cycle
+        // (a physical endpoint channel), and the 2x slack absorbs
+        // per-stream stalls without idling the budget.
+        let stream_caps: Vec<usize> = endpoints.iter().map(|&p| 2 * p as usize).collect();
+
+        let min_hop = MinHop::for_topology(topo);
+
         let seed = cfg.seed ^ (load.to_bits().rotate_left(17));
         Engine {
             topo,
+            graph: g,
             tables,
             dests,
-            routing,
+            algo,
+            min_hop,
             load,
             n,
             vcs,
             per_class: cfg.vcs_per_class as usize,
             cap_per_vc,
-            port_base,
-            out_link,
-            buf: vec![VecDeque::new(); queues],
+            endpoints,
+            geom,
+            bufs: FlitRings::new(queues, cap_per_vc),
             credits: vec![cap_per_vc; queues],
-            in_route: vec![None; queues],
+            route_port: vec![NONE32; queues],
+            route_vc: vec![0; queues],
             out_owner: vec![false; queues],
-            source_q: vec![VecDeque::new(); n],
-            active_inj: vec![Vec::new(); n],
-            ring: vec![Vec::new(); cfg.link_latency as usize + 1],
-            packets: Vec::new(),
-            free_pkts: Vec::new(),
+            src_q: SourceQueues::new(n),
+            inj: InjPool::new(&stream_caps),
+            pipeline: LinkPipeline::new(cfg.link_latency),
+            packets: PacketPool::new(),
             rng: StdRng::seed_from_u64(seed),
             cycle: 0,
+            clock: PhaseClock::new(&cfg),
             stats: LatencyStats::default(),
             measured_generated: 0,
             measured_delivered: 0,
@@ -286,6 +223,7 @@ impl<'a> Engine<'a> {
             inj_budget: vec![0; n],
             port_flits: vec![0; num_ports],
             inj_wait: vec![0; num_ports],
+            started_scratch: Vec::new(),
             link_flits: vec![0; num_ports],
             diag_vc_stalls: 0,
             diag_credit_stalls: 0,
@@ -296,13 +234,14 @@ impl<'a> Engine<'a> {
 
     /// Runs warmup + measurement + drain and reports the result.
     pub fn run(mut self) -> SimResult {
-        let total = self.cfg.warmup + self.cfg.measure;
+        let steady = self.clock.steady_end();
+        let deadline = self.clock.deadline();
         loop {
             self.step();
-            if self.cycle >= total && self.measured_delivered == self.measured_generated {
+            if self.cycle >= steady && self.measured_delivered == self.measured_generated {
                 break;
             }
-            if self.cycle >= total + self.cfg.drain_max {
+            if self.cycle >= deadline {
                 break;
             }
         }
@@ -311,7 +250,7 @@ impl<'a> Engine<'a> {
         SimResult {
             offered_load: self.load,
             accepted_load: self.window_flits_ejected as f64
-                / (f64::from(self.cfg.measure) * self.topo.total_endpoints() as f64),
+                / (f64::from(self.clock.measure) * self.topo.total_endpoints() as f64),
             avg_latency: stats.mean(),
             p99_latency: stats.percentile(0.99),
             avg_hops: stats.mean_hops(),
@@ -321,11 +260,6 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// Number of flits currently stored or in flight (test invariant).
-    pub fn flits_in_network(&self) -> usize {
-        self.buf.iter().map(|q| q.len()).sum::<usize>() + self.ring.iter().map(|r| r.len()).sum::<usize>()
-    }
-
     /// Advances one cycle.
     pub fn step(&mut self) {
         let cycle = self.cycle;
@@ -333,13 +267,13 @@ impl<'a> Engine<'a> {
         self.out_taken.iter_mut().for_each(|v| *v = false);
 
         // 1. Link arrivals.
-        let slot = (cycle as usize) % self.ring.len();
-        let arrivals = std::mem::take(&mut self.ring[slot]);
+        let arrivals = self.pipeline.arrivals(cycle);
         let ready_at = cycle + self.cfg.pipeline_delay;
-        for a in arrivals {
+        for a in &arrivals {
             self.port_flits[a.buf as usize / self.vcs] += 1;
-            self.buf[a.buf as usize].push_back(BufFlit { pkt: a.pkt, seq: a.seq, ready_at });
+            self.bufs.push_back(a.buf as usize, a.pkt, a.seq, ready_at);
         }
+        self.pipeline.recycle(cycle, arrivals);
 
         // 2. Packet generation (Bernoulli per endpoint).
         if cycle < self.cfg.gen_cutoff {
@@ -365,541 +299,76 @@ impl<'a> Engine<'a> {
         self.cycle += 1;
     }
 
-    fn alloc_packet(&mut self, p: Packet) -> u32 {
-        if let Some(id) = self.free_pkts.pop() {
-            self.packets[id as usize] = p;
-            id
-        } else {
-            self.packets.push(p);
-            (self.packets.len() - 1) as u32
-        }
+    /// Number of flits currently stored or in flight (test invariant).
+    pub fn flits_in_network(&self) -> usize {
+        self.bufs.total_flits() + self.pipeline.in_flight()
     }
 
-    fn generate(&mut self, cycle: u32) {
-        let prob = self.load / f64::from(self.cfg.packet_flits);
-        let measured_window = cycle >= self.cfg.warmup && cycle < self.cfg.warmup + self.cfg.measure;
-        for r in 0..self.n as u32 {
-            let endpoints = self.topo.endpoints(r);
-            for _ in 0..endpoints {
-                if self.rng.gen::<f64>() >= prob {
-                    continue;
-                }
-                let dst = self.dests.pick(r, &mut self.rng);
-                debug_assert_ne!(dst, r);
-                let next = self.tables.next_hop(r, dst);
-                let i = self.neighbor_index(r, next);
-                let min_first_link = self.out_link[(self.port_base[r as usize] + i as u32) as usize];
-                self.inj_wait[min_first_link as usize] += 1;
-                let pkt = Packet {
-                    dst,
-                    mid: NO_MID,
-                    birth: cycle,
-                    measured: measured_window,
-                    passed_mid: false,
-                    min_first_link,
-                };
-                let id = self.alloc_packet(pkt);
-                self.source_q[r as usize].push_back(id);
-                self.total_generated += 1;
-                if measured_window {
-                    self.measured_generated += 1;
-                }
-            }
-        }
+    /// Packets generated but not yet injected, across all routers.
+    pub fn source_backlog(&self) -> usize {
+        self.src_q.total()
     }
 
-    fn eject(&mut self, cycle: u32) {
-        let in_window = cycle >= self.cfg.warmup && cycle < self.cfg.warmup + self.cfg.measure;
-        for r in 0..self.n {
-            let mut budget = self.topo.endpoints(r as u32);
-            if budget == 0 {
-                continue;
-            }
-            let (lo, hi) = (self.port_base[r], self.port_base[r + 1]);
-            let ports = (hi - lo) as usize;
-            let start = (cycle as usize) % ports.max(1);
-            'ports: for off in 0..ports {
-                if budget == 0 {
-                    break;
-                }
-                let port = lo + ((start + off) % ports) as u32;
-                if self.port_used[port as usize] || self.port_flits[port as usize] == 0 {
-                    continue;
-                }
-                for vc in 0..self.vcs {
-                    let qidx = port as usize * self.vcs + vc;
-                    let Some(&head) = self.buf[qidx].front() else { continue };
-                    if head.ready_at > cycle || self.packets[head.pkt as usize].dst != r as u32 {
-                        continue;
-                    }
-                    // Eject one flit from this port.
-                    self.buf[qidx].pop_front();
-                    self.port_flits[port as usize] -= 1;
-                    self.credits[qidx] += 1;
-                    self.port_used[port as usize] = true;
-                    budget -= 1;
-                    if in_window {
-                        self.window_flits_ejected += 1;
-                    }
-                    if head.seq == self.cfg.packet_flits - 1 {
-                        let (measured, birth) = {
-                            let p = &self.packets[head.pkt as usize];
-                            (p.measured, p.birth)
-                        };
-                        self.total_delivered += 1;
-                        if measured {
-                            self.measured_delivered += 1;
-                            let latency = cycle - birth + 1;
-                            // Arrival VC class h−1 ⇒ the packet took h hops.
-                            let hops = (vc / self.per_class) as u32 + 1;
-                            self.stats.record(latency, hops);
-                        }
-                        self.free_pkts.push(head.pkt);
-                    }
-                    continue 'ports;
-                }
-            }
-        }
+    /// Injection streams currently active, across all routers.
+    pub fn active_streams(&self) -> usize {
+        self.inj.total()
     }
 
-    /// Occupied flits across all VCs of the link toward neighbor-index `i`
-    /// of router `r` — the congestion signal UGAL uses.
-    fn link_occupancy(&self, r: u32, i: usize) -> u32 {
-        let link = self.out_link[(self.port_base[r as usize] + i as u32) as usize];
-        let mut occ = 0;
-        for vc in 0..self.vcs {
-            occ += self.cap_per_vc - self.credits[link as usize * self.vcs + vc];
-        }
-        occ
+    /// Packets generated since construction (measured or not).
+    pub fn total_generated(&self) -> u64 {
+        self.total_generated
     }
 
-    /// Local neighbor index of `t` at router `r`.
-    #[inline]
-    fn neighbor_index(&self, r: u32, t: u32) -> usize {
-        self.topo.graph().neighbors(r).binary_search(&t).expect("next hop must be a neighbor")
+    /// Packets fully ejected since construction (measured or not).
+    pub fn total_delivered(&self) -> u64 {
+        self.total_delivered
     }
 
-    /// Transit next hop for `pkt` at router `r`, honoring the Valiant
-    /// phase; adaptive variants pick the least-occupied minimal output.
-    fn route_next(&mut self, r: u32, pkt_id: u32) -> u32 {
-        let (mid, dst, passed) = {
-            let p = &self.packets[pkt_id as usize];
-            (p.mid, p.dst, p.passed_mid)
-        };
-        let target = if mid != NO_MID && !passed {
-            if r == mid {
-                self.packets[pkt_id as usize].passed_mid = true;
-                dst
-            } else {
-                mid
-            }
-        } else {
-            dst
-        };
-        match self.routing {
-            Routing::MinAdaptive => self.adaptive_min_hop(r, target),
-            _ => self.tables.next_hop(r, target),
-        }
+    /// The routing algorithm's display label.
+    pub fn routing_label(&self) -> &'static str {
+        self.algo.label()
     }
 
-    /// Least-occupied minimal next hop (NCA / adaptive ECMP). Ties are
-    /// broken uniformly at random — deterministic tie-breaking makes every
-    /// source herd onto the same equal-cost port in the same cycle, which
-    /// measurably collapses folded-Clos throughput.
-    fn adaptive_min_hop(&mut self, r: u32, dst: u32) -> u32 {
-        let g = self.topo.graph();
-        let want = self.tables.dist(r, dst) - 1;
-        let mut best = r;
-        let mut best_occ = u32::MAX;
-        let mut ties = 0u32;
-        for (i, &w) in g.neighbors(r).iter().enumerate() {
-            if self.tables.dist(w, dst) != want {
-                continue;
-            }
-            let occ = self.link_occupancy(r, i);
-            if occ < best_occ {
-                best_occ = occ;
-                best = w;
-                ties = 1;
-            } else if occ == best_occ {
-                ties += 1;
-                // Reservoir sampling keeps the choice uniform over ties.
-                if self.rng.gen_range(0..ties) == 0 {
-                    best = w;
-                }
-            }
-        }
-        debug_assert_ne!(best, r);
-        best
+    /// Current cycle (the number of completed [`Engine::step`] calls).
+    pub fn cycle(&self) -> u32 {
+        self.cycle
     }
 
-    /// Resets per-cycle injection bandwidth budgets (p flits per router —
-    /// the aggregate endpoint channel bandwidth).
-    fn reset_inj_budgets(&mut self) {
-        for r in 0..self.n {
-            self.inj_budget[r] = self.topo.endpoints(r as u32) as u32;
+    /// Asserts the credit/buffer accounting invariants (used by the
+    /// property tests; panics with a diagnostic on violation):
+    ///
+    /// * no credit counter exceeds the buffer depth;
+    /// * no buffer holds more flits than its depth;
+    /// * per queue, buffered flits never exceed the credits spent on it;
+    /// * globally, credits spent == flits buffered + flits on links
+    ///   (credits return with zero latency, so nothing else may hold one).
+    pub fn validate_flow_invariants(&self) {
+        let cap = self.cap_per_vc;
+        let mut spent_total: u64 = 0;
+        for q in 0..self.credits.len() {
+            let credits = self.credits[q];
+            let held = self.bufs.len(q);
+            assert!(
+                credits <= cap,
+                "queue {q}: credits {credits} exceed buffer depth {cap}"
+            );
+            assert!(
+                held <= cap,
+                "queue {q}: {held} flits exceed buffer depth {cap}"
+            );
+            let spent = cap - credits;
+            assert!(
+                held <= spent,
+                "queue {q}: {held} buffered flits but only {spent} credits spent"
+            );
+            spent_total += u64::from(spent);
         }
+        let accounted = (self.bufs.total_flits() + self.pipeline.in_flight()) as u64;
+        assert_eq!(
+            spent_total, accounted,
+            "credit leak: {spent_total} credits spent vs {accounted} flits buffered/in flight"
+        );
     }
-
-    /// iSLIP request phase: every ready VC head (with an allocated or
-    /// allocatable output VC, downstream credit, and a free output link)
-    /// and every sendable injection stream registers a request at its
-    /// output link.
-    fn build_requests(&mut self, cycle: u32) {
-        for &o in &self.touched_outputs {
-            self.requests[o as usize].clear();
-        }
-        self.touched_outputs.clear();
-
-        for r in 0..self.n {
-            let (lo, hi) = (self.port_base[r], self.port_base[r + 1]);
-            for port in lo..hi {
-                if self.port_used[port as usize] || self.port_flits[port as usize] == 0 {
-                    continue;
-                }
-                for vc in 0..self.vcs {
-                    let qidx = port as usize * self.vcs + vc;
-                    let Some(&head) = self.buf[qidx].front() else { continue };
-                    if head.ready_at > cycle {
-                        continue;
-                    }
-                    let pkt = head.pkt;
-                    if self.packets[pkt as usize].dst == r as u32 {
-                        continue; // ejection handles it
-                    }
-                    // Route + VC allocation for a new head.
-                    if self.in_route[qidx].is_none() {
-                        debug_assert_eq!(head.seq, 0, "body flit without route");
-                        let next = self.route_next(r as u32, pkt);
-                        let i = self.neighbor_index(r as u32, next);
-                        let out_port = self.out_link[(self.port_base[r] + i as u32) as usize];
-                        // Class-indexed VC: hop h travels in class h, any
-                        // free VC within the class (deadlock freedom needs
-                        // paths of <= vc_classes hops; all routing
-                        // algorithms of the paper satisfy 4).
-                        let in_class = vc / self.per_class;
-                        debug_assert!(
-                            in_class + 1 < self.vcs / self.per_class,
-                            "path exceeded VC class budget"
-                        );
-                        let out_class = (in_class + 1).min(self.vcs / self.per_class - 1);
-                        let mut claimed = None;
-                        for sub in 0..self.per_class {
-                            let ovc = out_class * self.per_class + sub;
-                            let out_idx = out_port as usize * self.vcs + ovc;
-                            if !self.out_owner[out_idx] {
-                                claimed = Some(ovc as u8);
-                                break;
-                            }
-                        }
-                        let Some(ovc) = claimed else {
-                            self.diag_vc_stalls += 1;
-                            continue; // all VCs of the class busy; retry
-                        };
-                        let out_idx = out_port as usize * self.vcs + ovc as usize;
-                        self.out_owner[out_idx] = true;
-                        self.in_route[qidx] = Some((out_port, ovc));
-                    }
-                    let (out_port, out_vc) = self.in_route[qidx].unwrap();
-                    let out_idx = out_port as usize * self.vcs + out_vc as usize;
-                    if self.credits[out_idx] == 0 {
-                        self.diag_credit_stalls += 1;
-                        continue;
-                    }
-                    if self.out_taken[out_port as usize] {
-                        continue;
-                    }
-                    if self.requests[out_port as usize].is_empty() {
-                        self.touched_outputs.push(out_port);
-                    }
-                    self.requests[out_port as usize].push(Req {
-                        out_buf: out_idx as u32,
-                        src: ReqSrc::Transit { queue: qidx as u32 },
-                    });
-                }
-            }
-        }
-
-        // Injection lanes request their (pre-claimed) first-hop output.
-        for r in 0..self.n {
-            if self.inj_budget[r] == 0 {
-                continue;
-            }
-            for s in 0..self.active_inj[r].len() {
-                let st = self.active_inj[r][s];
-                if st.next_seq >= self.cfg.packet_flits || st.last_sent == cycle {
-                    continue; // finished, or lane already sent this cycle
-                }
-                let out_port = (st.out_buf as usize) / self.vcs;
-                if self.out_taken[out_port] || self.credits[st.out_buf as usize] == 0 {
-                    continue;
-                }
-                if self.requests[out_port].is_empty() {
-                    self.touched_outputs.push(out_port as u32);
-                }
-                self.requests[out_port].push(Req {
-                    out_buf: st.out_buf,
-                    src: ReqSrc::Inject { router: r as u32, stream: s as u32 },
-                });
-            }
-        }
-    }
-
-    /// iSLIP grant + accept: each requested output grants one requester
-    /// (rotating start); each input port accepts at most one grant; an
-    /// injection grant is accepted if router bandwidth remains. Accepted
-    /// flits traverse the switch immediately.
-    fn grant_and_accept(&mut self, cycle: u32) {
-        // Reset input accept slots for the ports that could receive grants.
-        for gi in self.input_grant.iter_mut() {
-            *gi = u32::MAX;
-        }
-        // Grant phase: winner per output. Outputs processed in rotated
-        // order; inputs accept first-come, so rotation doubles as the
-        // accept tie-break.
-        let outs = std::mem::take(&mut self.touched_outputs);
-        let olen = outs.len();
-        let ostart = if olen == 0 { 0 } else { (cycle as usize).wrapping_mul(0x9E37_79B9) % olen };
-        for oi in 0..olen {
-            let out_port = outs[(ostart + oi) % olen] as usize;
-            if self.out_taken[out_port] {
-                continue;
-            }
-            let reqs = &self.requests[out_port];
-            if reqs.is_empty() {
-                continue;
-            }
-            let rstart = (cycle as usize ^ out_port).wrapping_mul(0x85EB_CA6B) % reqs.len();
-            let mut chosen = None;
-            // Packet-continuation priority: drain in-flight packets before
-            // granting new heads. Shorter output-VC hold times keep the VC
-            // classes from exhausting (the dominant stall otherwise).
-            'passes: for want_body in [true, false] {
-                for k in 0..reqs.len() {
-                    let req = reqs[(rstart + k) % reqs.len()];
-                    let is_body = match req.src {
-                        ReqSrc::Transit { queue } => self.buf[queue as usize]
-                            .front()
-                            .is_some_and(|f| f.seq > 0),
-                        ReqSrc::Inject { router, stream } => {
-                            self.active_inj[router as usize][stream as usize].next_seq > 0
-                        }
-                    };
-                    if is_body != want_body {
-                        continue;
-                    }
-                    match req.src {
-                        ReqSrc::Transit { queue } => {
-                            let in_port = (queue as usize) / self.vcs;
-                            if self.input_grant[in_port] != u32::MAX {
-                                continue; // input already accepted a grant
-                            }
-                            chosen = Some(req);
-                            self.input_grant[in_port] = queue;
-                            break 'passes;
-                        }
-                        ReqSrc::Inject { router, .. } => {
-                            if self.inj_budget[router as usize] == 0 {
-                                continue;
-                            }
-                            self.inj_budget[router as usize] -= 1;
-                            chosen = Some(req);
-                            break 'passes;
-                        }
-                    }
-                }
-            }
-            let Some(req) = chosen else {
-                self.diag_match_losses += 1;
-                continue;
-            };
-            // Traverse.
-            self.out_taken[out_port] = true;
-            self.link_flits[out_port] += 1;
-            self.credits[req.out_buf as usize] -= 1;
-            let slot = ((cycle + self.cfg.link_latency) as usize) % self.ring.len();
-            match req.src {
-                ReqSrc::Transit { queue } => {
-                    let flit = self.buf[queue as usize].pop_front().expect("requester nonempty");
-                    self.port_flits[(queue as usize) / self.vcs] -= 1;
-                    self.credits[queue as usize] += 1;
-                    self.port_used[(queue as usize) / self.vcs] = true;
-                    self.ring[slot].push(Arrival { buf: req.out_buf, pkt: flit.pkt, seq: flit.seq });
-                    if flit.seq == self.cfg.packet_flits - 1 {
-                        let (op, ov) = self.in_route[queue as usize].take().expect("route set");
-                        self.out_owner[op as usize * self.vcs + ov as usize] = false;
-                    }
-                }
-                ReqSrc::Inject { router, stream } => {
-                    let st = &mut self.active_inj[router as usize][stream as usize];
-                    self.ring[slot].push(Arrival { buf: st.out_buf, pkt: st.pkt, seq: st.next_seq });
-                    st.next_seq += 1;
-                    st.last_sent = cycle;
-                    if st.next_seq == self.cfg.packet_flits {
-                        self.out_owner[st.out_buf as usize] = false;
-                    }
-                }
-            }
-        }
-        self.touched_outputs = outs;
-
-        // Sweep finished injection streams.
-        for r in 0..self.n {
-            let pf = self.cfg.packet_flits;
-            self.active_inj[r].retain(|s| s.next_seq < pf);
-        }
-    }
-
-    /// Decide min-vs-Valiant and the intermediate for a packet about to be
-    /// injected at `src` (§VII; UGAL decisions use current buffer state).
-    fn injection_route_decision(&mut self, src: u32, pkt_id: u32) {
-        let dst = self.packets[pkt_id as usize].dst;
-        let g = self.topo.graph();
-        let mid = match self.routing {
-            Routing::Min | Routing::MinAdaptive => NO_MID,
-            Routing::Valiant => self.random_mid(src, dst),
-            Routing::CompactValiant => {
-                if self.tables.dist(src, dst) <= 1 {
-                    NO_MID
-                } else {
-                    let nbrs = g.neighbors(src);
-                    nbrs[self.rng.gen_range(0..nbrs.len())]
-                }
-            }
-            Routing::Ugal => {
-                let mid = self.random_mid(src, dst);
-                let h_min = self.tables.dist(src, dst);
-                let h_val = self.tables.dist(src, mid) + self.tables.dist(mid, dst);
-                let q_min = self.occupancy_toward(src, self.tables.next_hop(src, dst));
-                let q_val = self.occupancy_toward(src, self.tables.next_hop(src, mid));
-                if q_val * h_val < q_min * h_min {
-                    mid
-                } else {
-                    NO_MID
-                }
-            }
-            Routing::UgalPf => {
-                // Occupancy of the *injection class* (class-0 VCs) of the
-                // minimal output plus source-queue backlog: the buffer
-                // space this packet would contend for, so the 2/3 threshold
-                // is taken against the class capacity.
-                let next = self.tables.next_hop(src, dst);
-                let q_min = self.class0_occupancy_toward(src, next);
-                let class_cap = self.cap_per_vc * self.per_class as u32;
-                if f64::from(q_min) <= self.cfg.ugal_pf_threshold * f64::from(class_cap) {
-                    NO_MID
-                } else if self.tables.dist(src, dst) <= 1 {
-                    // Adjacent pairs: a neighbor detour could bounce back
-                    // through the source (§VII-B), so fall back to general
-                    // Valiant — 4-hop detours, as Fig. 9b describes.
-                    self.random_mid(src, dst)
-                } else {
-                    let nbrs = g.neighbors(src);
-                    nbrs[self.rng.gen_range(0..nbrs.len())]
-                }
-            }
-        };
-        // A draw that degenerates to an endpoint means "minimal".
-        let p = &mut self.packets[pkt_id as usize];
-        p.mid = if mid == src || mid == dst { NO_MID } else { mid };
-    }
-
-    fn random_mid(&mut self, src: u32, dst: u32) -> u32 {
-        loop {
-            let r = self.rng.gen_range(0..self.n as u32);
-            if r != src && r != dst {
-                return r;
-            }
-        }
-    }
-
-    /// UGAL congestion signal toward `next`: downstream buffer occupancy
-    /// plus the source-queue backlog charged to that link (in flits).
-    fn occupancy_toward(&self, r: u32, next: u32) -> u32 {
-        let i = self.neighbor_index(r, next);
-        let link = self.out_link[(self.port_base[r as usize] + i as u32) as usize];
-        self.link_occupancy(r, i) + self.inj_wait[link as usize] * u32::from(self.cfg.packet_flits)
-    }
-
-    /// Occupied flits in the class-0 (injection) VCs of the link toward
-    /// `next` — the congestion signal for the UGAL-PF threshold.
-    fn class0_occupancy_toward(&self, r: u32, next: u32) -> u32 {
-        let i = self.neighbor_index(r, next);
-        let link = self.out_link[(self.port_base[r as usize] + i as u32) as usize];
-        let mut occ = 0;
-        for vc in 0..self.per_class {
-            occ += self.cap_per_vc - self.credits[link as usize * self.vcs + vc];
-        }
-        occ + self.inj_wait[link as usize] * u32::from(self.cfg.packet_flits)
-    }
-
-    fn start_injections(&mut self) {
-        for r in 0..self.n as u32 {
-            let endpoints = self.topo.endpoints(r);
-            if endpoints == 0 || self.source_q[r as usize].is_empty() {
-                continue;
-            }
-            let window = self.cfg.inject_window.min(self.source_q[r as usize].len());
-            let mut started: Vec<usize> = Vec::new();
-            // Up to 2p concurrent streams share p flits/cycle of aggregate
-            // endpoint bandwidth: each stream is rate-limited to 1
-            // flit/cycle (a physical endpoint channel), and the 2x slack
-            // absorbs per-stream stalls without idling the budget.
-            for idx in 0..window {
-                if self.active_inj[r as usize].len() >= 2 * endpoints {
-                    break;
-                }
-                let pkt_id = self.source_q[r as usize][idx];
-                self.injection_route_decision(r, pkt_id);
-                // First hop toward mid (if any) or dst.
-                let first_target = {
-                    let p = &self.packets[pkt_id as usize];
-                    if p.mid != NO_MID {
-                        p.mid
-                    } else {
-                        p.dst
-                    }
-                };
-                let next = match self.routing {
-                    Routing::MinAdaptive => self.adaptive_min_hop(r, first_target),
-                    _ => self.tables.next_hop(r, first_target),
-                };
-                let i = self.neighbor_index(r, next);
-                let out_port = self.out_link[(self.port_base[r as usize] + i as u32) as usize];
-                // Injection uses class 0: any free VC in [0, per_class).
-                let mut claimed = None;
-                for sub in 0..self.per_class {
-                    let out_idx = out_port as usize * self.vcs + sub;
-                    if !self.out_owner[out_idx] {
-                        claimed = Some(out_idx);
-                        break;
-                    }
-                }
-                let Some(out_idx) = claimed else {
-                    continue; // try the next queued packet (HoL relief)
-                };
-                self.out_owner[out_idx] = true;
-                let charged = self.packets[pkt_id as usize].min_first_link;
-                if charged != u32::MAX {
-                    self.inj_wait[charged as usize] -= 1;
-                    self.packets[pkt_id as usize].min_first_link = u32::MAX;
-                }
-                self.active_inj[r as usize].push(InjStream {
-                    pkt: pkt_id,
-                    next_seq: 0,
-                    out_buf: out_idx as u32,
-                    last_sent: u32::MAX,
-                });
-                started.push(idx);
-            }
-            // Remove started packets from the source queue (back to front
-            // keeps earlier indices valid).
-            for &idx in started.iter().rev() {
-                self.source_q[r as usize].remove(idx);
-            }
-        }
-    }
-
 }
 
 /// Convenience: one full run.
@@ -912,199 +381,4 @@ pub fn simulate(
     cfg: SimConfig,
 ) -> SimResult {
     Engine::new(topo, tables, dests, routing, load, cfg).run()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::traffic::{resolve, TrafficPattern};
-    use pf_topo::{PolarFlyTopo, Topology};
-
-    fn setup(q: u64, p: usize) -> (PolarFlyTopo, RouteTables) {
-        let topo = PolarFlyTopo::new(q, p).unwrap();
-        let tables = RouteTables::build(topo.graph(), 7);
-        (topo, tables)
-    }
-
-    #[test]
-    fn zero_load_latency_matches_pipeline_model() {
-        let (topo, tables) = setup(7, 4);
-        let dests = resolve(TrafficPattern::Uniform, topo.graph(), &topo.host_routers(), 3);
-        let cfg = SimConfig { warmup: 200, measure: 800, drain_max: 1000, ..SimConfig::default() };
-        let r = simulate(&topo, &tables, &dests, Routing::Min, 0.02, cfg.clone());
-        assert!(!r.saturated);
-        assert_eq!(r.delivered, r.generated);
-        // Expected: hops·(link+pipeline) + serialization (3 flits) + eject,
-        // with avg hops ≈ 1.9: roughly 9–12 cycles at near-zero load.
-        assert!(r.avg_latency > 4.0 && r.avg_latency < 20.0, "latency {}", r.avg_latency);
-        assert!(r.avg_hops > 1.5 && r.avg_hops <= 2.0, "hops {}", r.avg_hops);
-        // Accepted ≈ offered below saturation.
-        assert!((r.accepted_load - r.offered_load).abs() < 0.01);
-    }
-
-    #[test]
-    fn conservation_full_drain() {
-        let (topo, tables) = setup(5, 2);
-        let dests = resolve(TrafficPattern::Uniform, topo.graph(), &topo.host_routers(), 3);
-        let cfg = SimConfig {
-            warmup: 100,
-            measure: 200,
-            drain_max: 2000,
-            gen_cutoff: 300,
-            ..SimConfig::default()
-        };
-        let mut e = Engine::new(&topo, &tables, &dests, Routing::Min, 0.3, cfg);
-        for _ in 0..2300 {
-            e.step();
-        }
-        // After generation stops and a long drain, nothing is left in
-        // flight and all packets were delivered.
-        assert_eq!(e.flits_in_network(), 0);
-        assert_eq!(e.total_delivered, e.total_generated);
-        assert!(e.source_q.iter().all(|q| q.is_empty()));
-        assert!(e.active_inj.iter().all(|v| v.is_empty()));
-    }
-
-    #[test]
-    fn valiant_paths_are_longer_but_delivered() {
-        let (topo, tables) = setup(7, 4);
-        let dests = resolve(TrafficPattern::Uniform, topo.graph(), &topo.host_routers(), 3);
-        let cfg = SimConfig { warmup: 200, measure: 600, drain_max: 1500, ..SimConfig::default() };
-        let min = simulate(&topo, &tables, &dests, Routing::Min, 0.05, cfg.clone());
-        let val = simulate(&topo, &tables, &dests, Routing::Valiant, 0.05, cfg.clone());
-        let cval = simulate(&topo, &tables, &dests, Routing::CompactValiant, 0.05, cfg);
-        assert!(!val.saturated && !cval.saturated);
-        assert!(val.avg_hops > min.avg_hops + 0.5, "valiant {} vs min {}", val.avg_hops, min.avg_hops);
-        // Compact Valiant is capped at 3 hops, shorter than full Valiant.
-        assert!(cval.avg_hops < val.avg_hops, "cval {} vs val {}", cval.avg_hops, val.avg_hops);
-        assert!(cval.avg_hops <= 3.0);
-    }
-
-    #[test]
-    fn saturation_detected_at_overload_tornado_min() {
-        // Tornado + deterministic min routing: every router's p endpoints
-        // share one 2-hop path → saturation near 1/p of injection bw.
-        let (topo, tables) = setup(7, 4);
-        let dests = resolve(TrafficPattern::Tornado, topo.graph(), &topo.host_routers(), 3);
-        let cfg = SimConfig { warmup: 300, measure: 700, drain_max: 800, ..SimConfig::default() };
-        let r = simulate(&topo, &tables, &dests, Routing::Min, 0.9, cfg);
-        assert!(r.saturated, "tornado at 0.9 load with MIN must saturate");
-        // Accepted throughput collapses to roughly 1/p = 0.25.
-        assert!(r.accepted_load < 0.5, "accepted {}", r.accepted_load);
-    }
-
-    #[test]
-    fn ugal_beats_min_under_tornado() {
-        let (topo, tables) = setup(7, 4);
-        let dests = resolve(TrafficPattern::Tornado, topo.graph(), &topo.host_routers(), 3);
-        let cfg = SimConfig { warmup: 300, measure: 700, drain_max: 1000, ..SimConfig::default() };
-        let min = simulate(&topo, &tables, &dests, Routing::Min, 0.35, cfg.clone());
-        let ugal = simulate(&topo, &tables, &dests, Routing::Ugal, 0.35, cfg);
-        assert!(ugal.accepted_load > min.accepted_load + 0.05,
-            "UGAL {} should beat MIN {} under tornado", ugal.accepted_load, min.accepted_load);
-    }
-
-    #[test]
-    fn fat_tree_nca_uniform_reaches_high_throughput() {
-        let ft = pf_topo::FatTree::new(4);
-        let tables = RouteTables::build(ft.graph(), 5);
-        let dests = resolve(TrafficPattern::Uniform, ft.graph(), &ft.host_routers(), 3);
-        let cfg = SimConfig { warmup: 300, measure: 700, drain_max: 1200, ..SimConfig::default() };
-        let r = simulate(&ft, &tables, &dests, Routing::MinAdaptive, 0.7, cfg);
-        assert!(!r.saturated, "folded Clos with NCA must sustain 0.7 uniform load");
-        assert!((r.accepted_load - 0.7).abs() < 0.03);
-    }
-
-    #[test]
-    fn link_capacity_never_exceeded() {
-        // No physical link may carry more than 1 flit/cycle.
-        let (topo, tables) = setup(5, 3);
-        let dests = resolve(TrafficPattern::Uniform, topo.graph(), &topo.host_routers(), 4);
-        let cfg = SimConfig { warmup: 0, measure: 400, drain_max: 0, ..SimConfig::default() };
-        let cycles = 400u64;
-        let mut e = Engine::new(&topo, &tables, &dests, Routing::Min, 0.9, cfg);
-        for _ in 0..cycles {
-            e.step();
-        }
-        for &sent in &e.link_flits {
-            assert!(sent <= cycles, "link sent {sent} flits in {cycles} cycles");
-        }
-    }
-
-    #[test]
-    fn ejection_bandwidth_caps_accepted_load() {
-        // Accepted throughput can never exceed 1.0 of endpoint bandwidth.
-        let (topo, tables) = setup(5, 2);
-        let dests = resolve(TrafficPattern::Uniform, topo.graph(), &topo.host_routers(), 4);
-        let r = simulate(&topo, &tables, &dests, Routing::Min, 1.0, SimConfig::quick());
-        assert!(r.accepted_load <= 1.0 + 1e-9);
-        assert!(r.accepted_load > 0.3);
-    }
-
-    #[test]
-    fn valiant_overload_does_not_deadlock() {
-        // Saturated Valiant traffic keeps making progress (hop-class VCs
-        // are acyclic): after generation stops, everything drains.
-        let (topo, tables) = setup(5, 3);
-        let dests = resolve(TrafficPattern::Tornado, topo.graph(), &topo.host_routers(), 4);
-        let cfg = SimConfig {
-            warmup: 100,
-            measure: 300,
-            drain_max: 8000,
-            gen_cutoff: 400,
-            ..SimConfig::default()
-        };
-        let mut e = Engine::new(&topo, &tables, &dests, Routing::Valiant, 1.0, cfg);
-        for _ in 0..9000 {
-            e.step();
-        }
-        assert_eq!(e.flits_in_network(), 0, "flits stuck after drain: deadlock?");
-    }
-
-    #[test]
-    fn latency_rises_monotonically_with_load() {
-        let (topo, tables) = setup(7, 4);
-        let dests = resolve(TrafficPattern::Uniform, topo.graph(), &topo.host_routers(), 4);
-        let cfg = SimConfig { warmup: 300, measure: 600, drain_max: 800, ..SimConfig::default() };
-        let mut last = 0.0;
-        for load in [0.1, 0.4, 0.7] {
-            let r = simulate(&topo, &tables, &dests, Routing::Min, load, cfg.clone());
-            assert!(r.avg_latency >= last - 0.5, "latency dipped at load {load}");
-            last = r.avg_latency;
-        }
-    }
-
-    #[test]
-    fn min_routing_never_exceeds_two_hops_on_polarfly() {
-        let (topo, tables) = setup(7, 2);
-        let dests = resolve(TrafficPattern::Uniform, topo.graph(), &topo.host_routers(), 4);
-        let r = simulate(&topo, &tables, &dests, Routing::Min, 0.2, SimConfig::quick());
-        assert!(r.avg_hops <= 2.0 + 1e-9);
-        assert!(r.avg_hops >= 1.0);
-    }
-
-    #[test]
-    fn compact_valiant_hops_bounded_by_three() {
-        let (topo, tables) = setup(7, 2);
-        let dests = resolve(TrafficPattern::RandomPermutation, topo.graph(), &topo.host_routers(), 4);
-        let r = simulate(&topo, &tables, &dests, Routing::CompactValiant, 0.15, SimConfig::quick());
-        assert!(r.avg_hops <= 3.0 + 1e-9, "hops {}", r.avg_hops);
-    }
-
-    #[test]
-    fn quick_config_is_consistent() {
-        let cfg = SimConfig::quick();
-        assert!(cfg.warmup < SimConfig::default().warmup);
-        assert_eq!(cfg.packet_flits, 4);
-        assert_eq!(cfg.vc_classes, 4);
-    }
-
-    #[test]
-    fn hop_counts_respect_vc_bound() {
-        let (topo, tables) = setup(5, 2);
-        let dests = resolve(TrafficPattern::Uniform, topo.graph(), &topo.host_routers(), 1);
-        let r = simulate(&topo, &tables, &dests, Routing::Valiant, 0.1, SimConfig::quick());
-        assert!(r.avg_hops <= 4.0);
-        assert!(r.delivered > 0);
-    }
 }

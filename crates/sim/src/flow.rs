@@ -1,0 +1,150 @@
+//! Flow control: the link pipeline, credit accounting, and output-VC
+//! (wormhole) ownership.
+//!
+//! Credits model downstream buffer space with zero return latency (see
+//! DESIGN.md): `credits[q]` counts free slots of input-buffer queue `q`,
+//! decremented by the sender on link traversal and incremented by the
+//! receiver on dequeue. Output-VC ownership (`out_owner`) implements
+//! wormhole switching: a packet holds its claimed (link, VC) from head
+//! allocation to tail traversal.
+
+/// A flit in flight on a link, addressed to a downstream buffer queue.
+#[derive(Debug, Clone, Copy)]
+pub struct Arrival {
+    /// Destination (input-buffer, VC) queue index.
+    pub buf: u32,
+    /// Packet id.
+    pub pkt: u32,
+    /// Flit sequence number within the packet.
+    pub seq: u16,
+}
+
+/// Fixed-latency link pipeline: a circular schedule of arrival lists,
+/// indexed by arrival cycle modulo (latency + 1).
+pub struct LinkPipeline {
+    slots: Vec<Vec<Arrival>>,
+    in_flight: usize,
+}
+
+impl LinkPipeline {
+    /// A pipeline for links of the given latency (cycles).
+    pub fn new(link_latency: u32) -> LinkPipeline {
+        LinkPipeline {
+            slots: vec![Vec::new(); link_latency as usize + 1],
+            in_flight: 0,
+        }
+    }
+
+    #[inline]
+    fn slot_of(&self, cycle: u32) -> usize {
+        cycle as usize % self.slots.len()
+    }
+
+    /// Schedules a flit to arrive at `arrive_cycle`.
+    #[inline]
+    pub fn depart(&mut self, arrive_cycle: u32, a: Arrival) {
+        let s = self.slot_of(arrive_cycle);
+        self.slots[s].push(a);
+        self.in_flight += 1;
+    }
+
+    /// Takes this cycle's arrivals. The returned buffer must be handed
+    /// back via [`LinkPipeline::recycle`] to reuse its allocation.
+    #[inline]
+    pub fn arrivals(&mut self, cycle: u32) -> Vec<Arrival> {
+        let s = self.slot_of(cycle);
+        let v = std::mem::take(&mut self.slots[s]);
+        self.in_flight -= v.len();
+        v
+    }
+
+    /// Returns a drained arrival buffer for reuse.
+    #[inline]
+    pub fn recycle(&mut self, cycle: u32, mut buf: Vec<Arrival>) {
+        buf.clear();
+        let s = self.slot_of(cycle);
+        if self.slots[s].is_empty() && buf.capacity() > self.slots[s].capacity() {
+            self.slots[s] = buf;
+        }
+    }
+
+    /// Flits currently on links.
+    #[inline]
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+}
+
+/// Claims a free VC of `class` on `out_port`: returns the VC index and
+/// marks it owned, or `None` when the whole class is held by in-flight
+/// packets (a VC-exhaustion stall).
+#[inline]
+pub(crate) fn claim_vc(
+    out_owner: &mut [bool],
+    out_port: u32,
+    vcs: usize,
+    class: usize,
+    per_class: usize,
+) -> Option<u8> {
+    for sub in 0..per_class {
+        let ovc = class * per_class + sub;
+        let out_idx = out_port as usize * vcs + ovc;
+        if !out_owner[out_idx] {
+            out_owner[out_idx] = true;
+            return Some(ovc as u8);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_delivers_at_latency() {
+        let mut p = LinkPipeline::new(2);
+        p.depart(
+            5,
+            Arrival {
+                buf: 1,
+                pkt: 10,
+                seq: 0,
+            },
+        );
+        p.depart(
+            6,
+            Arrival {
+                buf: 2,
+                pkt: 11,
+                seq: 1,
+            },
+        );
+        assert_eq!(p.in_flight(), 2);
+        assert!(p.arrivals(4).is_empty());
+        let a5 = p.arrivals(5);
+        assert_eq!(a5.len(), 1);
+        assert_eq!((a5[0].buf, a5[0].pkt, a5[0].seq), (1, 10, 0));
+        p.recycle(5, a5);
+        let a6 = p.arrivals(6);
+        assert_eq!(a6.len(), 1);
+        assert_eq!(a6[0].pkt, 11);
+        assert_eq!(p.in_flight(), 0);
+    }
+
+    #[test]
+    fn claim_vc_walks_the_class_and_respects_ownership() {
+        let vcs = 4;
+        let per_class = 2;
+        let mut owner = vec![false; 2 * vcs];
+        // Claim both VCs of class 1 on port 1 (indices 1*4+2, 1*4+3).
+        assert_eq!(claim_vc(&mut owner, 1, vcs, 1, per_class), Some(2));
+        assert_eq!(claim_vc(&mut owner, 1, vcs, 1, per_class), Some(3));
+        assert_eq!(claim_vc(&mut owner, 1, vcs, 1, per_class), None);
+        // Class 0 of the same port is untouched.
+        assert_eq!(claim_vc(&mut owner, 1, vcs, 0, per_class), Some(0));
+        // Releasing re-enables the class.
+        owner[vcs + 2] = false;
+        assert_eq!(claim_vc(&mut owner, 1, vcs, 1, per_class), Some(2));
+    }
+}

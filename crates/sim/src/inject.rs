@@ -1,0 +1,165 @@
+//! Endpoint interface: packet generation, injection streams, and
+//! ejection.
+//!
+//! Each router carries `p` endpoints modelled as aggregate channel
+//! bandwidth — `p` flits/cycle of injection and ejection. Generated
+//! packets queue per source router ([`crate::router::SourceQueues`]); a
+//! packet leaves the queue when it wins a class-0 output VC on its first
+//! hop, becoming an injection *stream* that feeds one flit per cycle into
+//! the switch allocator.
+
+use crate::engine::{net_view, Engine};
+use crate::router::NONE32;
+use crate::routing::{HopContext, RoutePlan};
+use rand::Rng;
+
+impl Engine<'_> {
+    /// Bernoulli packet generation at every endpoint.
+    pub(crate) fn generate(&mut self, cycle: u32) {
+        let prob = self.load / f64::from(self.cfg.packet_flits);
+        let measured_window = self.clock.in_measurement(cycle);
+        let mh = self.min_hop;
+        for r in 0..self.n as u32 {
+            for _ in 0..self.endpoints[r as usize] {
+                if self.rng.gen::<f64>() >= prob {
+                    continue;
+                }
+                let dst = self.dests.pick(r, &mut self.rng);
+                debug_assert_ne!(dst, r);
+                // Charge the minimal first-hop link's virtual output
+                // queue while the packet waits at the source.
+                let next = mh.next(&net_view!(self), r, dst);
+                let i = net_view!(self).neighbor_index(r, next);
+                let min_first_link = self.geom.downstream(r, i);
+                self.inj_wait[min_first_link as usize] += 1;
+                let id = self
+                    .packets
+                    .alloc(dst, cycle, measured_window, min_first_link);
+                self.src_q.push(r as usize, id);
+                self.total_generated += 1;
+                if measured_window {
+                    self.measured_generated += 1;
+                }
+            }
+        }
+    }
+
+    /// Ejection: up to `endpoints(r)` flits/cycle leave the network at
+    /// their destination router (rotating port priority).
+    pub(crate) fn eject(&mut self, cycle: u32) {
+        let in_window = self.clock.in_measurement(cycle);
+        for r in 0..self.n {
+            let mut budget = self.endpoints[r];
+            if budget == 0 {
+                continue;
+            }
+            let (lo, hi) = self.geom.ports(r);
+            let ports = (hi - lo) as usize;
+            let start = (cycle as usize) % ports.max(1);
+            'ports: for off in 0..ports {
+                if budget == 0 {
+                    break;
+                }
+                let port = lo + ((start + off) % ports) as u32;
+                if self.port_used[port as usize] || self.port_flits[port as usize] == 0 {
+                    continue;
+                }
+                for vc in 0..self.vcs {
+                    let qidx = port as usize * self.vcs + vc;
+                    let Some((pkt, seq, ready_at)) = self.bufs.front(qidx) else {
+                        continue;
+                    };
+                    if ready_at > cycle || self.packets.dst[pkt as usize] != r as u32 {
+                        continue;
+                    }
+                    // Eject one flit from this port.
+                    self.bufs.pop_front(qidx);
+                    self.port_flits[port as usize] -= 1;
+                    self.credits[qidx] += 1;
+                    self.port_used[port as usize] = true;
+                    budget -= 1;
+                    if in_window {
+                        self.window_flits_ejected += 1;
+                    }
+                    if seq == self.cfg.packet_flits - 1 {
+                        self.total_delivered += 1;
+                        if self.packets.measured[pkt as usize] {
+                            self.measured_delivered += 1;
+                            let latency = cycle - self.packets.birth[pkt as usize] + 1;
+                            // Arrival VC class h−1 ⇒ the packet took h hops.
+                            let hops = (vc / self.per_class) as u32 + 1;
+                            self.stats.record(latency, hops);
+                        }
+                        self.packets.release(pkt);
+                    }
+                    continue 'ports;
+                }
+            }
+        }
+    }
+
+    /// Resets per-cycle injection bandwidth budgets (p flits per router —
+    /// the aggregate endpoint channel bandwidth).
+    pub(crate) fn reset_inj_budgets(&mut self) {
+        self.inj_budget.copy_from_slice(&self.endpoints);
+    }
+
+    /// Scans each source queue's head window, runs the routing plan, and
+    /// promotes packets that win a class-0 output VC into injection
+    /// streams (head-of-line relief: losers are skipped, not blocking).
+    pub(crate) fn start_injections(&mut self) {
+        for r in 0..self.n as u32 {
+            let ru = r as usize;
+            if self.endpoints[ru] == 0 || self.src_q.is_empty(ru) {
+                continue;
+            }
+            let window = self.cfg.inject_window.min(self.src_q.len(ru));
+            let mut started = std::mem::take(&mut self.started_scratch);
+            started.clear();
+            for idx in 0..window {
+                if !self.inj.has_capacity(ru) {
+                    break;
+                }
+                let pkt_id = self.src_q.get(ru, idx);
+                let dst = self.packets.dst[pkt_id as usize];
+                // Decide min-vs-Valiant and the intermediate (§VII; UGAL
+                // decisions read current buffer state).
+                let plan = self.algo.plan(&net_view!(self), r, dst, &mut self.rng);
+                // A draw that degenerates to an endpoint means "minimal".
+                let mid = match plan {
+                    RoutePlan::Detour(m) if m != r && m != dst => m,
+                    _ => NONE32,
+                };
+                self.packets.mid[pkt_id as usize] = mid;
+                // First hop toward mid (if any) or dst.
+                let first_target = if mid != NONE32 { mid } else { dst };
+                let hop = HopContext {
+                    router: r,
+                    target: first_target,
+                };
+                let port_i = self.algo.next_output(&net_view!(self), hop, &mut self.rng);
+                let out_port = self.geom.downstream(r, port_i as usize);
+                // Injection uses class 0: any free VC in [0, per_class).
+                let Some(vc) = crate::flow::claim_vc(
+                    &mut self.out_owner,
+                    out_port,
+                    self.vcs,
+                    0,
+                    self.per_class,
+                ) else {
+                    continue; // try the next queued packet (HoL relief)
+                };
+                let out_idx = out_port as usize * self.vcs + vc as usize;
+                let charged = self.packets.min_first_link[pkt_id as usize];
+                if charged != NONE32 {
+                    self.inj_wait[charged as usize] -= 1;
+                    self.packets.min_first_link[pkt_id as usize] = NONE32;
+                }
+                self.inj.push(ru, pkt_id, out_idx as u32);
+                started.push(idx);
+            }
+            self.src_q.remove_front(ru, &started, window);
+            self.started_scratch = started;
+        }
+    }
+}

@@ -5,26 +5,48 @@
 //! The model mirrors the paper's §VIII-A methodology:
 //!
 //! * **Input-queued routers** with per-(port, VC) FIFO buffers (default
-//!   4 VCs, 128 flits per port), credit-based wormhole flow control, and a
-//!   single-iteration separable allocator (rotating-priority input VC
-//!   selection, then rotating-priority output arbitration) — one flit per
-//!   input port and per output link per cycle.
+//!   4 VC classes × 2, 128 flits per port), credit-based wormhole flow
+//!   control, and an iterated separable allocator (rotating-priority input
+//!   VC selection, then rotating-priority output arbitration) — one flit
+//!   per input port and per output link per cycle.
 //! * **Co-packaged nodes**: each router carries `p` endpoints; injection
 //!   and ejection are modelled as `p` flits/cycle of aggregate endpoint
 //!   bandwidth (1 flit/cycle per endpoint).
 //! * **4-flit packets** injected by a Bernoulli process; offered load is
 //!   the fraction of per-endpoint injection bandwidth.
 //! * **Deadlock freedom** by hop-indexed virtual channels: a packet uses
-//!   VC `h` on its `h`-th hop, so channel dependencies are acyclic for all
-//!   routing algorithms (≤ 4 hops with Valiant).
+//!   VC class `h` on its `h`-th hop, so channel dependencies are acyclic
+//!   for all routing algorithms (≤ 4 hops with Valiant).
 //! * **Warmup / measurement / drain** phases; packet latency is
 //!   generation-to-tail-ejection, throughput is accepted flits per endpoint
 //!   cycle in the measurement window.
+//!
+//! ## Module map
+//!
+//! The engine is decomposed along router-microarchitecture lines:
+//!
+//! * [`engine`] — the [`Engine`] state and per-cycle orchestration;
+//! * [`router`] — per-router state as flat structure-of-arrays ring
+//!   buffers (port geometry, input buffers, injection streams), with
+//!   [`queues`] (source queues) and [`packet`] (packet records) alongside;
+//! * [`alloc`] — the separable switch allocator;
+//! * [`flow`] — link pipeline, credits, wormhole VC ownership;
+//! * [`inject`] — endpoint injection/ejection;
+//! * [`phase`] — the warmup/measure/drain clock;
+//! * [`routing`] — the pluggable [`RoutingAlgorithm`] trait and the
+//!   paper's six algorithms (§VII), with PolarFly's O(1) algebraic
+//!   minimal next hop as a table-free fast path;
+//! * [`config`], [`stats`], [`sweep`], [`tables`], [`traffic`],
+//!   [`analytic`] — configuration, results, load sweeps, route tables,
+//!   traffic patterns, and the fluid-model cross-check.
 //!
 //! Routing algorithms (§VII): table-based minimal, Valiant, Compact
 //! Valiant (random *neighbor* intermediate, ≤ 3 hops), UGAL-L, UGAL-PF
 //! (Compact Valiant + ⅔ buffer-occupancy threshold), and adaptive ECMP
 //! minimal routing which on a folded Clos is exactly fat-tree NCA routing.
+//! The closed [`Routing`] enum remains as a thin constructor for CLI and
+//! back-compat; [`Engine::with_algorithm`] accepts any
+//! [`RoutingAlgorithm`] implementation.
 //!
 //! Differences from BookSim (documented in DESIGN.md): credits return with
 //! zero latency (shared-memory model), the router pipeline is a fixed
@@ -32,21 +54,42 @@
 //! are aggregated per router. These shift absolute zero-load latencies by a
 //! few cycles but preserve saturation points and ordering.
 
+pub mod alloc;
 pub mod analytic;
+pub mod config;
 pub mod engine;
+pub mod flow;
+pub mod inject;
+pub mod packet;
+pub mod phase;
+pub mod queues;
+pub mod router;
+pub mod routing;
 pub mod stats;
 pub mod sweep;
 pub mod tables;
 pub mod traffic;
 
 pub use analytic::{analyze, FluidAnalysis};
-pub use engine::{simulate, Engine, SimConfig};
+pub use config::SimConfig;
+pub use engine::{simulate, Engine};
+pub use phase::{PhaseClock, SimPhase};
+pub use router::FlitRings;
+pub use routing::{HopContext, MinHop, NetState, Port, RoutePlan, RoutingAlgorithm};
 pub use stats::SimResult;
 pub use sweep::{load_curve, load_grid, LoadCurve};
 pub use tables::RouteTables;
 pub use traffic::TrafficPattern;
 
+use pf_topo::Topology;
+
 /// Routing algorithm selector (§VII of the paper).
+///
+/// This enum is the convenience constructor the CLI-facing layers use;
+/// each variant instantiates a [`RoutingAlgorithm`] via
+/// [`Routing::algorithm`]. On PolarFly topologies the minimal next hop is
+/// computed algebraically in O(1) (no table on the hot path) — parity
+/// with the table is pinned by `tests/routing_parity.rs`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Routing {
     /// Table-based minimal routing over a deterministic (seeded tie-break)
@@ -80,6 +123,32 @@ impl Routing {
             Routing::CompactValiant => "CVAL",
             Routing::Ugal => "UGAL",
             Routing::UgalPf => "UGALPF",
+        }
+    }
+
+    /// All six algorithms, in the paper's presentation order.
+    pub fn all() -> [Routing; 6] {
+        [
+            Routing::Min,
+            Routing::MinAdaptive,
+            Routing::Valiant,
+            Routing::CompactValiant,
+            Routing::Ugal,
+            Routing::UgalPf,
+        ]
+    }
+
+    /// Instantiates the algorithm for `topo`, wiring the algebraic
+    /// PolarFly minimal fast path when the topology advertises it.
+    pub fn algorithm<'a>(self, topo: &'a dyn Topology) -> Box<dyn RoutingAlgorithm + 'a> {
+        let min = MinHop::for_topology(topo);
+        match self {
+            Routing::Min => Box::new(routing::Min::new(min)),
+            Routing::MinAdaptive => Box::new(routing::MinAdaptive),
+            Routing::Valiant => Box::new(routing::Valiant::new(min)),
+            Routing::CompactValiant => Box::new(routing::CompactValiant::new(min)),
+            Routing::Ugal => Box::new(routing::UgalL::new(min)),
+            Routing::UgalPf => Box::new(routing::UgalPf::new(min)),
         }
     }
 }

@@ -1,0 +1,91 @@
+//! In-flight packet records, structure-of-arrays, with slot reuse.
+
+use crate::router::NONE32;
+
+/// Packet state the engine tracks from generation to tail ejection.
+///
+/// Stored as parallel arrays: the hot loops touch single fields (`dst` on
+/// every ejection probe, `mid`/`passed_mid` on routing) and SoA keeps
+/// those probes on dense cache lines. Freed ids are recycled via an
+/// internal free list.
+pub struct PacketPool {
+    pub(crate) dst: Vec<u32>,
+    /// Valiant intermediate (`NONE32` = minimal).
+    pub(crate) mid: Vec<u32>,
+    pub(crate) birth: Vec<u32>,
+    pub(crate) measured: Vec<bool>,
+    pub(crate) passed_mid: Vec<bool>,
+    /// The minimal first-hop link charged in `inj_wait` while queued at
+    /// the source (`NONE32` once injected).
+    pub(crate) min_first_link: Vec<u32>,
+    free: Vec<u32>,
+}
+
+impl PacketPool {
+    /// An empty pool.
+    pub fn new() -> PacketPool {
+        PacketPool {
+            dst: Vec::new(),
+            mid: Vec::new(),
+            birth: Vec::new(),
+            measured: Vec::new(),
+            passed_mid: Vec::new(),
+            min_first_link: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Allocates a packet record, reusing a freed slot when possible.
+    pub fn alloc(&mut self, dst: u32, birth: u32, measured: bool, min_first_link: u32) -> u32 {
+        if let Some(id) = self.free.pop() {
+            let i = id as usize;
+            self.dst[i] = dst;
+            self.mid[i] = NONE32;
+            self.birth[i] = birth;
+            self.measured[i] = measured;
+            self.passed_mid[i] = false;
+            self.min_first_link[i] = min_first_link;
+            id
+        } else {
+            self.dst.push(dst);
+            self.mid.push(NONE32);
+            self.birth.push(birth);
+            self.measured.push(measured);
+            self.passed_mid.push(false);
+            self.min_first_link.push(min_first_link);
+            (self.dst.len() - 1) as u32
+        }
+    }
+
+    /// Returns a packet record to the free list.
+    #[inline]
+    pub fn release(&mut self, id: u32) {
+        self.free.push(id);
+    }
+}
+
+impl Default for PacketPool {
+    fn default() -> Self {
+        PacketPool::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packet_pool_reuses_slots() {
+        let mut p = PacketPool::new();
+        let a = p.alloc(5, 10, true, 3);
+        let b = p.alloc(6, 11, false, NONE32);
+        assert_ne!(a, b);
+        p.release(a);
+        let c = p.alloc(9, 12, false, 1);
+        assert_eq!(c, a, "freed slot must be reused");
+        assert_eq!(p.dst[c as usize], 9);
+        assert!(!p.passed_mid[c as usize]);
+        assert_eq!(p.mid[c as usize], NONE32);
+        assert_eq!(p.min_first_link[c as usize], 1);
+    }
+}

@@ -1,0 +1,110 @@
+//! The simulation clock: warmup → measurement → drain.
+//!
+//! Latency/throughput statistics only count packets *generated* inside
+//! the measurement window; the run then drains until every measured
+//! packet is delivered or the drain budget expires (the saturated case).
+
+use crate::config::SimConfig;
+
+/// Which phase a cycle falls into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimPhase {
+    /// Transient fill: traffic flows, nothing is recorded.
+    Warmup,
+    /// The measurement window: generated packets are tagged and tracked.
+    Measure,
+    /// Past the window: generation may continue but is unmeasured; the
+    /// run ends when measured packets finish or `drain_max` expires.
+    Drain,
+}
+
+/// Warmup/measurement/drain boundaries (in cycles).
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseClock {
+    /// Warmup length.
+    pub warmup: u32,
+    /// Measurement window length.
+    pub measure: u32,
+    /// Maximum drain length.
+    pub drain_max: u32,
+}
+
+impl PhaseClock {
+    /// The clock described by a [`SimConfig`].
+    pub fn new(cfg: &SimConfig) -> PhaseClock {
+        PhaseClock {
+            warmup: cfg.warmup,
+            measure: cfg.measure,
+            drain_max: cfg.drain_max,
+        }
+    }
+
+    /// Phase of `cycle`.
+    #[inline]
+    pub fn phase(&self, cycle: u32) -> SimPhase {
+        if cycle < self.warmup {
+            SimPhase::Warmup
+        } else if cycle - self.warmup < self.measure {
+            SimPhase::Measure
+        } else {
+            SimPhase::Drain
+        }
+    }
+
+    /// Whether packets generated at `cycle` are measured. (Subtraction
+    /// form: immune to `warmup + measure` overflow for sentinel-sized
+    /// warmups.)
+    #[inline]
+    pub fn in_measurement(&self, cycle: u32) -> bool {
+        cycle >= self.warmup && cycle - self.warmup < self.measure
+    }
+
+    /// First cycle past the measurement window.
+    #[inline]
+    pub fn steady_end(&self) -> u32 {
+        self.warmup.saturating_add(self.measure)
+    }
+
+    /// Hard stop: measurement end plus the drain budget.
+    #[inline]
+    pub fn deadline(&self) -> u32 {
+        self.steady_end().saturating_add(self.drain_max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_partition_the_timeline() {
+        let c = PhaseClock {
+            warmup: 10,
+            measure: 20,
+            drain_max: 5,
+        };
+        assert_eq!(c.phase(0), SimPhase::Warmup);
+        assert_eq!(c.phase(9), SimPhase::Warmup);
+        assert_eq!(c.phase(10), SimPhase::Measure);
+        assert_eq!(c.phase(29), SimPhase::Measure);
+        assert_eq!(c.phase(30), SimPhase::Drain);
+        assert!(c.in_measurement(10));
+        assert!(!c.in_measurement(9));
+        assert!(!c.in_measurement(30));
+        assert_eq!(c.steady_end(), 30);
+        assert_eq!(c.deadline(), 35);
+    }
+
+    #[test]
+    fn sentinel_warmup_never_measures_and_never_overflows() {
+        let c = PhaseClock {
+            warmup: u32::MAX,
+            measure: 2000,
+            drain_max: 4000,
+        };
+        assert!(!c.in_measurement(0));
+        assert!(!c.in_measurement(u32::MAX - 1));
+        assert_eq!(c.steady_end(), u32::MAX);
+        assert_eq!(c.deadline(), u32::MAX);
+    }
+}

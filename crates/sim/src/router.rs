@@ -1,0 +1,344 @@
+//! Per-router state in structure-of-arrays form.
+//!
+//! The cycle engine's innermost loops scan every input port and VC each
+//! cycle. The original implementation kept a `VecDeque<BufFlit>` per
+//! (port, VC) queue — hundreds of thousands of separate heap rings whose
+//! heads the hot loop chased through pointers. This module replaces them
+//! with flat ring buffers over single contiguous allocations:
+//!
+//! * [`FlitRings`] — every VC buffer of every port in three parallel
+//!   arrays (`pkt`/`seq`/`ready`), fixed capacity per queue (the credit
+//!   loop already bounds occupancy to the capacity, so no growth path is
+//!   needed).
+//! * [`SourceQueues`] — per-router pending-packet queues as growable
+//!   power-of-two rings with O(window) front compaction (the injection
+//!   window removes packets from the first few slots only).
+//! * [`InjPool`] — active injection streams in SoA arrays partitioned by
+//!   router (capacity `2·endpoints(r)`, the engine's stream cap).
+//! * [`PacketPool`] — in-flight packet records in SoA arrays with a free
+//!   list.
+//! * [`PortMap`] — the port geometry: prefix-summed input-port ids and the
+//!   `out_link` map from a local output to the downstream input port.
+
+use pf_graph::Csr;
+
+/// Sentinel for "no packet / no link / no route".
+pub const NONE32: u32 = u32::MAX;
+
+/// Port geometry of the whole network.
+///
+/// Input port `port_base[r] + i` of router `r` receives from
+/// `neighbors(r)[i]`; `out_link[port_base[r] + i]` is the input port id at
+/// that neighbor whose peer is `r` (i.e. the link `r → neighbors(r)[i]`
+/// seen from the receiving side).
+pub struct PortMap {
+    pub(crate) port_base: Vec<u32>,
+    pub(crate) out_link: Vec<u32>,
+}
+
+impl PortMap {
+    /// Builds the geometry from an undirected router graph.
+    pub fn build(g: &Csr) -> PortMap {
+        let n = g.vertex_count();
+        let mut port_base = vec![0u32; n + 1];
+        for r in 0..n {
+            port_base[r + 1] = port_base[r] + g.degree(r as u32) as u32;
+        }
+        let num_ports = port_base[n] as usize;
+        let mut out_link = vec![0u32; num_ports];
+        for r in 0..n as u32 {
+            for (i, &t) in g.neighbors(r).iter().enumerate() {
+                let j = g.neighbors(t).binary_search(&r).expect("undirected graph") as u32;
+                out_link[(port_base[r as usize] + i as u32) as usize] = port_base[t as usize] + j;
+            }
+        }
+        PortMap {
+            port_base,
+            out_link,
+        }
+    }
+
+    /// Total number of (directed) input ports.
+    #[inline]
+    pub fn num_ports(&self) -> usize {
+        *self.port_base.last().unwrap() as usize
+    }
+
+    /// Input-port id range `[lo, hi)` of router `r`.
+    #[inline]
+    pub fn ports(&self, r: usize) -> (u32, u32) {
+        (self.port_base[r], self.port_base[r + 1])
+    }
+
+    /// Downstream input port of local output `i` at router `r`.
+    #[inline]
+    pub fn downstream(&self, r: u32, i: usize) -> u32 {
+        self.out_link[(self.port_base[r as usize] + i as u32) as usize]
+    }
+}
+
+/// All (port, VC) flit buffers as parallel flat ring buffers.
+///
+/// Queue `q` owns slots `[q·cap, (q+1)·cap)` of each array; `head[q]` and
+/// `len[q]` define the live window. Capacity is fixed: the credit protocol
+/// guarantees a sender never pushes into a full buffer.
+pub struct FlitRings {
+    cap: u32,
+    pkt: Vec<u32>,
+    seq: Vec<u16>,
+    ready: Vec<u32>,
+    head: Vec<u32>,
+    len: Vec<u32>,
+    total: usize,
+}
+
+impl FlitRings {
+    /// `queues` buffers of `cap` flits each.
+    pub fn new(queues: usize, cap: u32) -> FlitRings {
+        assert!(cap > 0, "flit ring capacity must be positive");
+        let slots = queues * cap as usize;
+        FlitRings {
+            cap,
+            pkt: vec![0; slots],
+            seq: vec![0; slots],
+            ready: vec![0; slots],
+            head: vec![0; queues],
+            len: vec![0; queues],
+            total: 0,
+        }
+    }
+
+    /// Per-queue capacity.
+    #[inline]
+    pub fn capacity(&self) -> u32 {
+        self.cap
+    }
+
+    /// Occupancy of queue `q`.
+    #[inline]
+    pub fn len(&self, q: usize) -> u32 {
+        self.len[q]
+    }
+
+    /// Whether queue `q` is empty.
+    #[inline]
+    pub fn is_empty(&self, q: usize) -> bool {
+        self.len[q] == 0
+    }
+
+    /// Total flits across all queues.
+    #[inline]
+    pub fn total_flits(&self) -> usize {
+        self.total
+    }
+
+    #[inline]
+    fn slot(&self, q: usize, i: u32) -> usize {
+        debug_assert!(i < self.len[q]);
+        let mut off = self.head[q] + i;
+        if off >= self.cap {
+            off -= self.cap;
+        }
+        q * self.cap as usize + off as usize
+    }
+
+    /// Appends a flit; panics (debug) on overflow — the credit loop must
+    /// prevent it.
+    #[inline]
+    pub fn push_back(&mut self, q: usize, pkt: u32, seq: u16, ready: u32) {
+        debug_assert!(
+            self.len[q] < self.cap,
+            "flit ring overflow: credits out of sync"
+        );
+        let mut off = self.head[q] + self.len[q];
+        if off >= self.cap {
+            off -= self.cap;
+        }
+        let s = q * self.cap as usize + off as usize;
+        self.pkt[s] = pkt;
+        self.seq[s] = seq;
+        self.ready[s] = ready;
+        self.len[q] += 1;
+        self.total += 1;
+    }
+
+    /// Head flit of queue `q` as `(pkt, seq, ready_at)`.
+    #[inline]
+    pub fn front(&self, q: usize) -> Option<(u32, u16, u32)> {
+        if self.len[q] == 0 {
+            return None;
+        }
+        let s = q * self.cap as usize + self.head[q] as usize;
+        Some((self.pkt[s], self.seq[s], self.ready[s]))
+    }
+
+    /// Removes the head flit of queue `q`.
+    #[inline]
+    pub fn pop_front(&mut self, q: usize) {
+        debug_assert!(self.len[q] > 0);
+        let mut h = self.head[q] + 1;
+        if h >= self.cap {
+            h -= self.cap;
+        }
+        self.head[q] = h;
+        self.len[q] -= 1;
+        self.total -= 1;
+    }
+
+    /// Flit `i` positions behind the head (test/diagnostic access).
+    pub fn get(&self, q: usize, i: u32) -> (u32, u16, u32) {
+        let s = self.slot(q, i);
+        (self.pkt[s], self.seq[s], self.ready[s])
+    }
+}
+
+/// Active injection streams, SoA, partitioned per router.
+///
+/// Router `r` owns stream slots `[base[r], base[r] + len[r])` with a hard
+/// capacity of `base[r+1] - base[r]` slots (the engine sizes this to
+/// `2·endpoints(r)`). Finished streams are swap-removed.
+pub struct InjPool {
+    base: Vec<u32>,
+    len: Vec<u32>,
+    pub(crate) pkt: Vec<u32>,
+    pub(crate) next_seq: Vec<u16>,
+    pub(crate) out_buf: Vec<u32>,
+    pub(crate) last_sent: Vec<u32>,
+}
+
+impl InjPool {
+    /// Builds the pool from per-router stream capacities.
+    pub fn new(stream_caps: &[usize]) -> InjPool {
+        let n = stream_caps.len();
+        let mut base = vec![0u32; n + 1];
+        for (r, &c) in stream_caps.iter().enumerate() {
+            base[r + 1] = base[r] + c as u32;
+        }
+        let slots = base[n] as usize;
+        InjPool {
+            base,
+            len: vec![0; n],
+            pkt: vec![0; slots],
+            next_seq: vec![0; slots],
+            out_buf: vec![0; slots],
+            last_sent: vec![0; slots],
+        }
+    }
+
+    /// Active stream count at router `r`.
+    #[inline]
+    pub fn len(&self, r: usize) -> u32 {
+        self.len[r]
+    }
+
+    /// Whether router `r` can start another stream.
+    #[inline]
+    pub fn has_capacity(&self, r: usize) -> bool {
+        self.base[r] + self.len[r] < self.base[r + 1]
+    }
+
+    /// Global slot index of stream `s` at router `r`.
+    #[inline]
+    pub fn slot(&self, r: usize, s: u32) -> usize {
+        debug_assert!(s < self.len[r]);
+        (self.base[r] + s) as usize
+    }
+
+    /// Starts a stream; caller must have checked [`InjPool::has_capacity`].
+    #[inline]
+    pub fn push(&mut self, r: usize, pkt: u32, out_buf: u32) {
+        debug_assert!(self.has_capacity(r));
+        let s = (self.base[r] + self.len[r]) as usize;
+        self.pkt[s] = pkt;
+        self.next_seq[s] = 0;
+        self.out_buf[s] = out_buf;
+        self.last_sent[s] = NONE32;
+        self.len[r] += 1;
+    }
+
+    /// Swap-removes every stream of router `r` whose `next_seq` reached
+    /// `packet_flits` (i.e. fully injected).
+    pub fn sweep_finished(&mut self, r: usize, packet_flits: u16) {
+        let mut s = 0;
+        while s < self.len[r] {
+            let slot = (self.base[r] + s) as usize;
+            if self.next_seq[slot] >= packet_flits {
+                let last = (self.base[r] + self.len[r] - 1) as usize;
+                self.pkt[slot] = self.pkt[last];
+                self.next_seq[slot] = self.next_seq[last];
+                self.out_buf[slot] = self.out_buf[last];
+                self.last_sent[slot] = self.last_sent[last];
+                self.len[r] -= 1;
+            } else {
+                s += 1;
+            }
+        }
+    }
+
+    /// Total active streams across all routers.
+    pub fn total(&self) -> usize {
+        self.len.iter().map(|&l| l as usize).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flit_ring_fifo_and_wraparound() {
+        let mut r = FlitRings::new(2, 4);
+        for round in 0..5u32 {
+            for i in 0..4u32 {
+                r.push_back(1, 100 + i, i as u16, round);
+            }
+            assert_eq!(r.len(1), 4);
+            assert!(r.is_empty(0));
+            for i in 0..4u32 {
+                let (pkt, seq, ready) = r.front(1).unwrap();
+                assert_eq!((pkt, seq, ready), (100 + i, i as u16, round));
+                r.pop_front(1);
+            }
+            assert!(r.front(1).is_none());
+        }
+        assert_eq!(r.total_flits(), 0);
+    }
+
+    #[test]
+    fn inj_pool_push_and_sweep() {
+        let mut p = InjPool::new(&[2, 3]);
+        assert!(p.has_capacity(0));
+        p.push(0, 7, 100);
+        p.push(0, 8, 101);
+        assert!(!p.has_capacity(0));
+        // Finish stream 0 and sweep: stream 1 survives via swap-remove.
+        let s0 = p.slot(0, 0);
+        p.next_seq[s0] = 4;
+        p.sweep_finished(0, 4);
+        assert_eq!(p.len(0), 1);
+        assert_eq!(p.pkt[p.slot(0, 0)], 8);
+        assert_eq!(p.total(), 1);
+    }
+
+    #[test]
+    fn portmap_links_are_symmetric() {
+        use pf_graph::GraphBuilder;
+        let mut b = GraphBuilder::new(5);
+        for i in 0..5u32 {
+            b.add_edge(i, (i + 1) % 5);
+        }
+        let g = b.build();
+        let pm = PortMap::build(&g);
+        assert_eq!(pm.num_ports(), 10);
+        for r in 0..5u32 {
+            for (i, &t) in g.neighbors(r).iter().enumerate() {
+                let down = pm.downstream(r, i);
+                // The downstream port belongs to t and its peer is r.
+                let (lo, hi) = pm.ports(t as usize);
+                assert!((lo..hi).contains(&down));
+                let j = (down - lo) as usize;
+                assert_eq!(g.neighbors(t)[j], r);
+            }
+        }
+    }
+}

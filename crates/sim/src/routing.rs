@@ -1,0 +1,383 @@
+//! Pluggable routing: the [`RoutingAlgorithm`] trait and the paper's six
+//! algorithms (§VII).
+//!
+//! The engine calls routing at exactly two points:
+//!
+//! * [`RoutingAlgorithm::plan`] — once per packet at injection, deciding
+//!   minimal vs. detour (and the Valiant intermediate);
+//! * [`RoutingAlgorithm::next_output`] — once per packet per hop, mapping
+//!   (router, current target) to a local output port.
+//!
+//! Both receive a [`NetState`] — a read-only view of the tables, port
+//! geometry, and congestion state — so algorithms stay stateless and the
+//! trait stays object-safe. Minimal next-hops flow through [`MinHop`]:
+//! table lookups on arbitrary topologies, or PolarFly's O(1) algebraic
+//! cross-product next hop ([`polarfly::routing::next_hop_minimal`]) when
+//! the topology advertises it via
+//! [`pf_topo::RoutingHint`] — no `O(N²)` table required on the fast path,
+//! and parity between the two is pinned by `tests/routing_parity.rs`.
+
+use crate::router::PortMap;
+use crate::tables::RouteTables;
+use pf_graph::Csr;
+use polarfly::PolarFly;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A local output-port index at a router (position in its neighbor list).
+pub type Port = u32;
+
+/// Read-only network view handed to routing decisions.
+pub struct NetState<'e> {
+    /// Distance + minimal next-hop tables.
+    pub tables: &'e RouteTables,
+    /// The router graph.
+    pub graph: &'e Csr,
+    /// Port geometry.
+    pub geom: &'e PortMap,
+    /// Free slots per (input-buffer, VC) queue — the sender's credit view.
+    pub credits: &'e [u32],
+    /// Source-queue backlog charged per minimal first-hop link (packets).
+    pub inj_wait: &'e [u32],
+    /// Virtual channels per port.
+    pub vcs: usize,
+    /// VCs per class.
+    pub per_class: usize,
+    /// Flit capacity of one VC buffer.
+    pub cap_per_vc: u32,
+    /// Flits per packet.
+    pub packet_flits: u16,
+    /// UGAL-PF adaptation threshold (fraction of class capacity).
+    pub ugal_pf_threshold: f64,
+}
+
+impl NetState<'_> {
+    /// Local neighbor index of `t` at router `r`.
+    #[inline]
+    pub fn neighbor_index(&self, r: u32, t: u32) -> usize {
+        self.graph
+            .neighbors(r)
+            .binary_search(&t)
+            .expect("next hop must be a neighbor")
+    }
+
+    /// Occupied flits across all VCs of the link toward neighbor-index `i`
+    /// of router `r` — the congestion signal UGAL uses.
+    pub fn link_occupancy(&self, r: u32, i: usize) -> u32 {
+        let link = self.geom.downstream(r, i) as usize;
+        let mut occ = 0;
+        for vc in 0..self.vcs {
+            occ += self.cap_per_vc - self.credits[link * self.vcs + vc];
+        }
+        occ
+    }
+
+    /// UGAL congestion signal toward `next`: downstream buffer occupancy
+    /// plus the source-queue backlog charged to that link (in flits).
+    pub fn occupancy_toward(&self, r: u32, next: u32) -> u32 {
+        let i = self.neighbor_index(r, next);
+        let link = self.geom.downstream(r, i);
+        self.link_occupancy(r, i) + self.inj_wait[link as usize] * u32::from(self.packet_flits)
+    }
+
+    /// Occupied flits in the class-0 (injection) VCs of the link toward
+    /// `next` — the congestion signal for the UGAL-PF threshold.
+    pub fn class0_occupancy_toward(&self, r: u32, next: u32) -> u32 {
+        let i = self.neighbor_index(r, next);
+        let link = self.geom.downstream(r, i) as usize;
+        let mut occ = 0;
+        for vc in 0..self.per_class {
+            occ += self.cap_per_vc - self.credits[link * self.vcs + vc];
+        }
+        occ + self.inj_wait[link] * u32::from(self.packet_flits)
+    }
+}
+
+/// Where minimal next-hops come from.
+#[derive(Clone, Copy)]
+pub enum MinHop<'t> {
+    /// The seeded-tie-break table (`RouteTables`) — any topology.
+    Table,
+    /// PolarFly's algebraic O(1) next hop: adjacency check + cross
+    /// product, no table access on the hot path.
+    Algebraic(&'t PolarFly),
+}
+
+impl MinHop<'_> {
+    /// Minimal next hop from `s` toward `d` (`s ≠ d`).
+    #[inline]
+    pub fn next(&self, net: &NetState, s: u32, d: u32) -> u32 {
+        match self {
+            MinHop::Table => net.tables.next_hop(s, d),
+            MinHop::Algebraic(pf) => polarfly::routing::next_hop_minimal(pf, s, d),
+        }
+    }
+
+    /// The minimal-hop source `topo` supports — the single decision point
+    /// shared by the engine's bookkeeping and `Routing::algorithm`, so the
+    /// two can never disagree on the fast path.
+    pub fn for_topology(topo: &dyn pf_topo::Topology) -> MinHop<'_> {
+        match topo.routing_hint() {
+            pf_topo::RoutingHint::PolarFly(pf) => MinHop::Algebraic(pf),
+            pf_topo::RoutingHint::Generic => MinHop::Table,
+        }
+    }
+}
+
+/// The (router, current target) pair a transit decision sees.
+#[derive(Debug, Clone, Copy)]
+pub struct HopContext {
+    /// Router holding the packet.
+    pub router: u32,
+    /// Where the packet currently heads (the Valiant intermediate until it
+    /// is passed, the destination afterwards).
+    pub target: u32,
+}
+
+/// Injection-time path plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutePlan {
+    /// Ride the minimal route the whole way.
+    Minimal,
+    /// Route minimally to this intermediate first, then to the
+    /// destination (Valiant / UGAL detour).
+    Detour(u32),
+}
+
+/// A routing algorithm, decomposed into the per-packet plan and the
+/// per-hop output choice. Object-safe: the engine stores
+/// `Box<dyn RoutingAlgorithm>`.
+pub trait RoutingAlgorithm: Send + Sync {
+    /// Label used in result tables (matches the paper's legends).
+    fn label(&self) -> &'static str;
+
+    /// Chooses the local output port at `hop.router` toward `hop.target`.
+    fn next_output(&self, net: &NetState, hop: HopContext, rng: &mut StdRng) -> Port;
+
+    /// Decides minimal vs. detour for a packet about to be injected.
+    fn plan(&self, net: &NetState, src: u32, dst: u32, rng: &mut StdRng) -> RoutePlan;
+}
+
+#[inline]
+fn port_toward(net: &NetState, min: &MinHop, at: u32, target: u32) -> Port {
+    let next = min.next(net, at, target);
+    net.neighbor_index(at, next) as Port
+}
+
+fn random_mid(n: u32, src: u32, dst: u32, rng: &mut StdRng) -> u32 {
+    loop {
+        let r = rng.gen_range(0..n);
+        if r != src && r != dst {
+            return r;
+        }
+    }
+}
+
+/// Table/algebraic deterministic minimal routing.
+pub struct Min<'t> {
+    min: MinHop<'t>,
+}
+
+impl<'t> Min<'t> {
+    /// Minimal routing over the given next-hop source.
+    pub fn new(min: MinHop<'t>) -> Self {
+        Min { min }
+    }
+}
+
+impl RoutingAlgorithm for Min<'_> {
+    fn label(&self) -> &'static str {
+        "MIN"
+    }
+
+    fn next_output(&self, net: &NetState, hop: HopContext, _rng: &mut StdRng) -> Port {
+        port_toward(net, &self.min, hop.router, hop.target)
+    }
+
+    fn plan(&self, _net: &NetState, _src: u32, _dst: u32, _rng: &mut StdRng) -> RoutePlan {
+        RoutePlan::Minimal
+    }
+}
+
+/// Adaptive minimal: among the minimal next hops, take the output with the
+/// fewest occupied downstream flits. On a folded Clos this is NCA routing;
+/// on direct networks it is adaptive ECMP.
+pub struct MinAdaptive;
+
+impl RoutingAlgorithm for MinAdaptive {
+    fn label(&self) -> &'static str {
+        "NCA"
+    }
+
+    /// Ties are broken uniformly at random — deterministic tie-breaking
+    /// makes every source herd onto the same equal-cost port in the same
+    /// cycle, which measurably collapses folded-Clos throughput.
+    fn next_output(&self, net: &NetState, hop: HopContext, rng: &mut StdRng) -> Port {
+        let want = net.tables.dist(hop.router, hop.target) - 1;
+        let mut best = Port::MAX;
+        let mut best_occ = u32::MAX;
+        let mut ties = 0u32;
+        for (i, &w) in net.graph.neighbors(hop.router).iter().enumerate() {
+            if net.tables.dist(w, hop.target) != want {
+                continue;
+            }
+            let occ = net.link_occupancy(hop.router, i);
+            if occ < best_occ {
+                best_occ = occ;
+                best = i as Port;
+                ties = 1;
+            } else if occ == best_occ {
+                ties += 1;
+                // Reservoir sampling keeps the choice uniform over ties.
+                if rng.gen_range(0..ties) == 0 {
+                    best = i as Port;
+                }
+            }
+        }
+        debug_assert_ne!(best, Port::MAX, "no minimal next hop found");
+        best
+    }
+
+    fn plan(&self, _net: &NetState, _src: u32, _dst: u32, _rng: &mut StdRng) -> RoutePlan {
+        RoutePlan::Minimal
+    }
+}
+
+/// Valiant: minimal to a uniformly random intermediate, then minimal to
+/// the destination (≤ 4 hops on diameter-2 networks).
+pub struct Valiant<'t> {
+    min: MinHop<'t>,
+}
+
+impl<'t> Valiant<'t> {
+    /// Valiant routing over the given next-hop source.
+    pub fn new(min: MinHop<'t>) -> Self {
+        Valiant { min }
+    }
+}
+
+impl RoutingAlgorithm for Valiant<'_> {
+    fn label(&self) -> &'static str {
+        "VAL"
+    }
+
+    fn next_output(&self, net: &NetState, hop: HopContext, _rng: &mut StdRng) -> Port {
+        port_toward(net, &self.min, hop.router, hop.target)
+    }
+
+    fn plan(&self, net: &NetState, src: u32, dst: u32, rng: &mut StdRng) -> RoutePlan {
+        RoutePlan::Detour(random_mid(net.graph.vertex_count() as u32, src, dst, rng))
+    }
+}
+
+/// Compact Valiant (§VII-B): the intermediate is a random *neighbor* of
+/// the source (≤ 3-hop detours); adjacent pairs go minimally.
+pub struct CompactValiant<'t> {
+    min: MinHop<'t>,
+}
+
+impl<'t> CompactValiant<'t> {
+    /// Compact Valiant over the given next-hop source.
+    pub fn new(min: MinHop<'t>) -> Self {
+        CompactValiant { min }
+    }
+}
+
+impl RoutingAlgorithm for CompactValiant<'_> {
+    fn label(&self) -> &'static str {
+        "CVAL"
+    }
+
+    fn next_output(&self, net: &NetState, hop: HopContext, _rng: &mut StdRng) -> Port {
+        port_toward(net, &self.min, hop.router, hop.target)
+    }
+
+    fn plan(&self, net: &NetState, src: u32, dst: u32, rng: &mut StdRng) -> RoutePlan {
+        if net.tables.dist(src, dst) <= 1 {
+            RoutePlan::Minimal
+        } else {
+            let nbrs = net.graph.neighbors(src);
+            RoutePlan::Detour(nbrs[rng.gen_range(0..nbrs.len())])
+        }
+    }
+}
+
+/// UGAL-L: per-packet choice between the minimal and one random-Valiant
+/// path by comparing (queue length × hop count) at injection.
+pub struct UgalL<'t> {
+    min: MinHop<'t>,
+}
+
+impl<'t> UgalL<'t> {
+    /// UGAL-L over the given next-hop source.
+    pub fn new(min: MinHop<'t>) -> Self {
+        UgalL { min }
+    }
+}
+
+impl RoutingAlgorithm for UgalL<'_> {
+    fn label(&self) -> &'static str {
+        "UGAL"
+    }
+
+    fn next_output(&self, net: &NetState, hop: HopContext, _rng: &mut StdRng) -> Port {
+        port_toward(net, &self.min, hop.router, hop.target)
+    }
+
+    fn plan(&self, net: &NetState, src: u32, dst: u32, rng: &mut StdRng) -> RoutePlan {
+        let mid = random_mid(net.graph.vertex_count() as u32, src, dst, rng);
+        let h_min = net.tables.dist(src, dst);
+        let h_val = net.tables.dist(src, mid) + net.tables.dist(mid, dst);
+        let q_min = net.occupancy_toward(src, self.min.next(net, src, dst));
+        let q_val = net.occupancy_toward(src, self.min.next(net, src, mid));
+        if q_val * h_val < q_min * h_min {
+            RoutePlan::Detour(mid)
+        } else {
+            RoutePlan::Minimal
+        }
+    }
+}
+
+/// UGAL-PF (§VII-C): Compact-Valiant detours taken only when the minimal
+/// output's injection-class buffers pass an occupancy threshold.
+pub struct UgalPf<'t> {
+    min: MinHop<'t>,
+}
+
+impl<'t> UgalPf<'t> {
+    /// UGAL-PF over the given next-hop source.
+    pub fn new(min: MinHop<'t>) -> Self {
+        UgalPf { min }
+    }
+}
+
+impl RoutingAlgorithm for UgalPf<'_> {
+    fn label(&self) -> &'static str {
+        "UGALPF"
+    }
+
+    fn next_output(&self, net: &NetState, hop: HopContext, _rng: &mut StdRng) -> Port {
+        port_toward(net, &self.min, hop.router, hop.target)
+    }
+
+    fn plan(&self, net: &NetState, src: u32, dst: u32, rng: &mut StdRng) -> RoutePlan {
+        // Occupancy of the *injection class* (class-0 VCs) of the minimal
+        // output plus source-queue backlog: the buffer space this packet
+        // would contend for, so the threshold is taken against the class
+        // capacity.
+        let next = self.min.next(net, src, dst);
+        let q_min = net.class0_occupancy_toward(src, next);
+        let class_cap = net.cap_per_vc * net.per_class as u32;
+        if f64::from(q_min) <= net.ugal_pf_threshold * f64::from(class_cap) {
+            RoutePlan::Minimal
+        } else if net.tables.dist(src, dst) <= 1 {
+            // Adjacent pairs: a neighbor detour could bounce back through
+            // the source (§VII-B), so fall back to general Valiant —
+            // 4-hop detours, as Fig. 9b describes.
+            RoutePlan::Detour(random_mid(net.graph.vertex_count() as u32, src, dst, rng))
+        } else {
+            let nbrs = net.graph.neighbors(src);
+            RoutePlan::Detour(nbrs[rng.gen_range(0..nbrs.len())])
+        }
+    }
+}

@@ -59,7 +59,8 @@ impl LatencyStats {
         if self.samples.is_empty() {
             0.0
         } else {
-            self.samples.iter().map(|&l| u64::from(l)).sum::<u64>() as f64 / self.samples.len() as f64
+            self.samples.iter().map(|&l| u64::from(l)).sum::<u64>() as f64
+                / self.samples.len() as f64
         }
     }
 

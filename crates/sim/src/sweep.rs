@@ -27,7 +27,10 @@ pub struct LoadCurve {
 impl LoadCurve {
     /// The highest accepted load observed — the saturation throughput.
     pub fn saturation_throughput(&self) -> f64 {
-        self.points.iter().map(|p| p.accepted_load).fold(0.0, f64::max)
+        self.points
+            .iter()
+            .map(|p| p.accepted_load)
+            .fold(0.0, f64::max)
     }
 
     /// Average latency at the lowest offered load (≈ zero-load latency).
@@ -84,7 +87,9 @@ pub fn load_curve(
 /// Evenly spaced loads `lo..=hi` (inclusive), `n ≥ 2` points.
 pub fn load_grid(lo: f64, hi: f64, n: usize) -> Vec<f64> {
     assert!(n >= 2);
-    (0..n).map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64).collect()
+    (0..n)
+        .map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64)
+        .collect()
 }
 
 /// Measured saturation throughput: accepted load when offered 100%.
@@ -117,7 +122,13 @@ mod tests {
     fn curve_latency_monotone_under_uniform_min() {
         let topo = PolarFlyTopo::new(5, 2).unwrap();
         let cfg = SimConfig::quick();
-        let curve = load_curve(&topo, Routing::Min, TrafficPattern::Uniform, &[0.1, 0.4, 0.7], &cfg);
+        let curve = load_curve(
+            &topo,
+            Routing::Min,
+            TrafficPattern::Uniform,
+            &[0.1, 0.4, 0.7],
+            &cfg,
+        );
         assert_eq!(curve.points.len(), 3);
         assert!(curve.points[0].avg_latency <= curve.points[2].avg_latency);
         assert!(curve.zero_load_latency() > 0.0);
@@ -127,7 +138,12 @@ mod tests {
     #[test]
     fn saturation_measures_accepted_at_full_offer() {
         let topo = PolarFlyTopo::new(5, 2).unwrap();
-        let s = saturation(&topo, Routing::Min, TrafficPattern::Uniform, &SimConfig::quick());
+        let s = saturation(
+            &topo,
+            Routing::Min,
+            TrafficPattern::Uniform,
+            &SimConfig::quick(),
+        );
         assert!(s > 0.4 && s <= 1.0, "saturation {s}");
     }
 }

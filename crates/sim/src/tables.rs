@@ -27,7 +27,9 @@ impl RouteTables {
             .into_par_iter()
             .map(|d| {
                 let dist = bfs::bfs_distances(g, d);
-                let mut rng = StdRng::seed_from_u64(seed ^ (u64::from(d) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let mut rng = StdRng::seed_from_u64(
+                    seed ^ (u64::from(d) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
                 let next: Vec<u32> = (0..n as u32)
                     .map(|s| {
                         if s == d || dist[s as usize] == bfs::UNREACHABLE {
@@ -83,9 +85,17 @@ impl RouteTables {
     }
 
     /// All minimal next hops from `s` toward `d` (for adaptive ECMP / NCA).
-    pub fn min_next_hops<'a>(&'a self, g: &'a Csr, s: u32, d: u32) -> impl Iterator<Item = u32> + 'a {
+    pub fn min_next_hops<'a>(
+        &'a self,
+        g: &'a Csr,
+        s: u32,
+        d: u32,
+    ) -> impl Iterator<Item = u32> + 'a {
         let want = self.dist(s, d).wrapping_sub(1);
-        g.neighbors(s).iter().copied().filter(move |&w| self.dist(w, d) == want)
+        g.neighbors(s)
+            .iter()
+            .copied()
+            .filter(move |&w| self.dist(w, d) == want)
     }
 }
 

@@ -92,7 +92,9 @@ impl DestMap {
 pub fn resolve(pattern: TrafficPattern, g: &Csr, hosts: &[u32], seed: u64) -> DestMap {
     let n = g.vertex_count();
     match pattern {
-        TrafficPattern::Uniform => DestMap::Uniform { hosts: hosts.to_vec() },
+        TrafficPattern::Uniform => DestMap::Uniform {
+            hosts: hosts.to_vec(),
+        },
         TrafficPattern::Tornado => {
             let h = hosts.len();
             assert!(h >= 2, "tornado needs at least two hosts");
@@ -124,7 +126,11 @@ pub fn resolve(pattern: TrafficPattern, g: &Csr, hosts: &[u32], seed: u64) -> De
             let mut dest = vec![u32::MAX; n];
             for (i, &r) in hosts.iter().enumerate() {
                 let j = h - 1 - i;
-                dest[r as usize] = if j == i { hosts[(i + h / 2) % h] } else { hosts[j] };
+                dest[r as usize] = if j == i {
+                    hosts[(i + h / 2) % h]
+                } else {
+                    hosts[j]
+                };
             }
             DestMap::Fixed { dest }
         }
@@ -157,9 +163,16 @@ pub fn resolve(pattern: TrafficPattern, g: &Csr, hosts: &[u32], seed: u64) -> De
             DestMap::Fixed { dest }
         }
         TrafficPattern::Perm1Hop | TrafficPattern::Perm2Hop => {
-            let want = if pattern == TrafficPattern::Perm1Hop { 1 } else { 2 };
-            let host_index: std::collections::HashMap<u32, u32> =
-                hosts.iter().enumerate().map(|(i, &r)| (r, i as u32)).collect();
+            let want = if pattern == TrafficPattern::Perm1Hop {
+                1
+            } else {
+                2
+            };
+            let host_index: std::collections::HashMap<u32, u32> = hosts
+                .iter()
+                .enumerate()
+                .map(|(i, &r)| (r, i as u32))
+                .collect();
             let allowed: Vec<Vec<u32>> = hosts
                 .iter()
                 .map(|&r| {
@@ -214,7 +227,7 @@ mod tests {
         let g = ring(10);
         let dm = resolve(TrafficPattern::RandomPermutation, &g, &hosts(10), 5);
         let mut rng = StdRng::seed_from_u64(0);
-        let mut seen = vec![false; 10];
+        let mut seen = [false; 10];
         for i in 0..10u32 {
             let d = dm.pick(i, &mut rng);
             assert_ne!(d, i);
@@ -226,12 +239,19 @@ mod tests {
     #[test]
     fn perm_hops_have_exact_distance() {
         let g = ring(12);
-        for (pat, want) in [(TrafficPattern::Perm1Hop, 1u8), (TrafficPattern::Perm2Hop, 2)] {
+        for (pat, want) in [
+            (TrafficPattern::Perm1Hop, 1u8),
+            (TrafficPattern::Perm2Hop, 2),
+        ] {
             let dm = resolve(pat, &g, &hosts(12), 3);
             let mut rng = StdRng::seed_from_u64(0);
             for i in 0..12u32 {
                 let d = dm.pick(i, &mut rng);
-                assert_eq!(bfs::bfs_distances(&g, i)[d as usize], want, "{pat:?} host {i}");
+                assert_eq!(
+                    bfs::bfs_distances(&g, i)[d as usize],
+                    want,
+                    "{pat:?} host {i}"
+                );
             }
         }
     }

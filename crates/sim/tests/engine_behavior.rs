@@ -1,0 +1,331 @@
+//! End-to-end behavior of the cycle engine (previously the `engine.rs`
+//! unit tests): latency models, conservation, saturation, deadlock
+//! freedom, and routing-dependent hop distributions.
+
+use pf_sim::engine::{simulate, Engine, SimConfig};
+use pf_sim::tables::RouteTables;
+use pf_sim::traffic::{resolve, TrafficPattern};
+use pf_sim::Routing;
+use pf_topo::{PolarFlyTopo, Topology};
+
+fn setup(q: u64, p: usize) -> (PolarFlyTopo, RouteTables) {
+    let topo = PolarFlyTopo::new(q, p).unwrap();
+    let tables = RouteTables::build(topo.graph(), 7);
+    (topo, tables)
+}
+
+#[test]
+fn zero_load_latency_matches_pipeline_model() {
+    let (topo, tables) = setup(7, 4);
+    let dests = resolve(
+        TrafficPattern::Uniform,
+        topo.graph(),
+        &topo.host_routers(),
+        3,
+    );
+    let cfg = SimConfig::default()
+        .warmup(200)
+        .measure(800)
+        .drain_max(1000);
+    let r = simulate(&topo, &tables, &dests, Routing::Min, 0.02, cfg);
+    assert!(!r.saturated);
+    assert_eq!(r.delivered, r.generated);
+    // Expected: hops·(link+pipeline) + serialization (3 flits) + eject,
+    // with avg hops ≈ 1.9: roughly 9–12 cycles at near-zero load.
+    assert!(
+        r.avg_latency > 4.0 && r.avg_latency < 20.0,
+        "latency {}",
+        r.avg_latency
+    );
+    assert!(r.avg_hops > 1.5 && r.avg_hops <= 2.0, "hops {}", r.avg_hops);
+    // Accepted ≈ offered below saturation.
+    assert!((r.accepted_load - r.offered_load).abs() < 0.01);
+}
+
+#[test]
+fn conservation_full_drain() {
+    let (topo, tables) = setup(5, 2);
+    let dests = resolve(
+        TrafficPattern::Uniform,
+        topo.graph(),
+        &topo.host_routers(),
+        3,
+    );
+    let cfg = SimConfig::default()
+        .warmup(100)
+        .measure(200)
+        .drain_max(2000)
+        .gen_cutoff(300);
+    let mut e = Engine::new(&topo, &tables, &dests, Routing::Min, 0.3, cfg);
+    for _ in 0..2300 {
+        e.step();
+    }
+    // After generation stops and a long drain, nothing is left in
+    // flight and all packets were delivered.
+    assert_eq!(e.flits_in_network(), 0);
+    assert_eq!(e.total_delivered(), e.total_generated());
+    assert_eq!(e.source_backlog(), 0);
+    assert_eq!(e.active_streams(), 0);
+}
+
+#[test]
+fn valiant_paths_are_longer_but_delivered() {
+    let (topo, tables) = setup(7, 4);
+    let dests = resolve(
+        TrafficPattern::Uniform,
+        topo.graph(),
+        &topo.host_routers(),
+        3,
+    );
+    let cfg = SimConfig::default()
+        .warmup(200)
+        .measure(600)
+        .drain_max(1500);
+    let min = simulate(&topo, &tables, &dests, Routing::Min, 0.05, cfg.clone());
+    let val = simulate(&topo, &tables, &dests, Routing::Valiant, 0.05, cfg.clone());
+    let cval = simulate(&topo, &tables, &dests, Routing::CompactValiant, 0.05, cfg);
+    assert!(!val.saturated && !cval.saturated);
+    assert!(
+        val.avg_hops > min.avg_hops + 0.5,
+        "valiant {} vs min {}",
+        val.avg_hops,
+        min.avg_hops
+    );
+    // Compact Valiant is capped at 3 hops, shorter than full Valiant.
+    assert!(
+        cval.avg_hops < val.avg_hops,
+        "cval {} vs val {}",
+        cval.avg_hops,
+        val.avg_hops
+    );
+    assert!(cval.avg_hops <= 3.0);
+}
+
+#[test]
+fn saturation_detected_at_overload_tornado_min() {
+    // Tornado + deterministic min routing: every router's p endpoints
+    // share one 2-hop path → saturation near 1/p of injection bw.
+    let (topo, tables) = setup(7, 4);
+    let dests = resolve(
+        TrafficPattern::Tornado,
+        topo.graph(),
+        &topo.host_routers(),
+        3,
+    );
+    let cfg = SimConfig::default().warmup(300).measure(700).drain_max(800);
+    let r = simulate(&topo, &tables, &dests, Routing::Min, 0.9, cfg);
+    assert!(r.saturated, "tornado at 0.9 load with MIN must saturate");
+    // Accepted throughput collapses to roughly 1/p = 0.25.
+    assert!(r.accepted_load < 0.5, "accepted {}", r.accepted_load);
+}
+
+#[test]
+fn ugal_beats_min_under_tornado() {
+    let (topo, tables) = setup(7, 4);
+    let dests = resolve(
+        TrafficPattern::Tornado,
+        topo.graph(),
+        &topo.host_routers(),
+        3,
+    );
+    let cfg = SimConfig::default()
+        .warmup(300)
+        .measure(700)
+        .drain_max(1000);
+    let min = simulate(&topo, &tables, &dests, Routing::Min, 0.35, cfg.clone());
+    let ugal = simulate(&topo, &tables, &dests, Routing::Ugal, 0.35, cfg);
+    assert!(
+        ugal.accepted_load > min.accepted_load + 0.05,
+        "UGAL {} should beat MIN {} under tornado",
+        ugal.accepted_load,
+        min.accepted_load
+    );
+}
+
+#[test]
+fn fat_tree_nca_uniform_reaches_high_throughput() {
+    let ft = pf_topo::FatTree::new(4);
+    let tables = RouteTables::build(ft.graph(), 5);
+    let dests = resolve(TrafficPattern::Uniform, ft.graph(), &ft.host_routers(), 3);
+    let cfg = SimConfig::default()
+        .warmup(300)
+        .measure(700)
+        .drain_max(1200);
+    let r = simulate(&ft, &tables, &dests, Routing::MinAdaptive, 0.7, cfg);
+    assert!(
+        !r.saturated,
+        "folded Clos with NCA must sustain 0.7 uniform load"
+    );
+    assert!((r.accepted_load - 0.7).abs() < 0.03);
+}
+
+#[test]
+fn link_capacity_never_exceeded() {
+    // No physical link may carry more than 1 flit/cycle.
+    let (topo, tables) = setup(5, 3);
+    let dests = resolve(
+        TrafficPattern::Uniform,
+        topo.graph(),
+        &topo.host_routers(),
+        4,
+    );
+    let cfg = SimConfig::default().warmup(0).measure(400).drain_max(0);
+    let cycles = 400u64;
+    let mut e = Engine::new(&topo, &tables, &dests, Routing::Min, 0.9, cfg);
+    for _ in 0..cycles {
+        e.step();
+    }
+    for &sent in &e.link_flits {
+        assert!(sent <= cycles, "link sent {sent} flits in {cycles} cycles");
+    }
+}
+
+#[test]
+fn ejection_bandwidth_caps_accepted_load() {
+    // Accepted throughput can never exceed 1.0 of endpoint bandwidth.
+    let (topo, tables) = setup(5, 2);
+    let dests = resolve(
+        TrafficPattern::Uniform,
+        topo.graph(),
+        &topo.host_routers(),
+        4,
+    );
+    let r = simulate(
+        &topo,
+        &tables,
+        &dests,
+        Routing::Min,
+        1.0,
+        SimConfig::quick(),
+    );
+    assert!(r.accepted_load <= 1.0 + 1e-9);
+    assert!(r.accepted_load > 0.3);
+}
+
+#[test]
+fn valiant_overload_does_not_deadlock() {
+    // Saturated Valiant traffic keeps making progress (hop-class VCs
+    // are acyclic): after generation stops, everything drains.
+    let (topo, tables) = setup(5, 3);
+    let dests = resolve(
+        TrafficPattern::Tornado,
+        topo.graph(),
+        &topo.host_routers(),
+        4,
+    );
+    let cfg = SimConfig::default()
+        .warmup(100)
+        .measure(300)
+        .drain_max(8000)
+        .gen_cutoff(400);
+    let mut e = Engine::new(&topo, &tables, &dests, Routing::Valiant, 1.0, cfg);
+    for _ in 0..9000 {
+        e.step();
+    }
+    assert_eq!(
+        e.flits_in_network(),
+        0,
+        "flits stuck after drain: deadlock?"
+    );
+}
+
+#[test]
+fn latency_rises_monotonically_with_load() {
+    let (topo, tables) = setup(7, 4);
+    let dests = resolve(
+        TrafficPattern::Uniform,
+        topo.graph(),
+        &topo.host_routers(),
+        4,
+    );
+    let cfg = SimConfig::default().warmup(300).measure(600).drain_max(800);
+    let mut last = 0.0;
+    for load in [0.1, 0.4, 0.7] {
+        let r = simulate(&topo, &tables, &dests, Routing::Min, load, cfg.clone());
+        assert!(r.avg_latency >= last - 0.5, "latency dipped at load {load}");
+        last = r.avg_latency;
+    }
+}
+
+#[test]
+fn min_routing_never_exceeds_two_hops_on_polarfly() {
+    let (topo, tables) = setup(7, 2);
+    let dests = resolve(
+        TrafficPattern::Uniform,
+        topo.graph(),
+        &topo.host_routers(),
+        4,
+    );
+    let r = simulate(
+        &topo,
+        &tables,
+        &dests,
+        Routing::Min,
+        0.2,
+        SimConfig::quick(),
+    );
+    assert!(r.avg_hops <= 2.0 + 1e-9);
+    assert!(r.avg_hops >= 1.0);
+}
+
+#[test]
+fn compact_valiant_hops_bounded_by_three() {
+    let (topo, tables) = setup(7, 2);
+    let dests = resolve(
+        TrafficPattern::RandomPermutation,
+        topo.graph(),
+        &topo.host_routers(),
+        4,
+    );
+    let r = simulate(
+        &topo,
+        &tables,
+        &dests,
+        Routing::CompactValiant,
+        0.15,
+        SimConfig::quick(),
+    );
+    assert!(r.avg_hops <= 3.0 + 1e-9, "hops {}", r.avg_hops);
+}
+
+#[test]
+fn hop_counts_respect_vc_bound() {
+    let (topo, tables) = setup(5, 2);
+    let dests = resolve(
+        TrafficPattern::Uniform,
+        topo.graph(),
+        &topo.host_routers(),
+        1,
+    );
+    let r = simulate(
+        &topo,
+        &tables,
+        &dests,
+        Routing::Valiant,
+        0.1,
+        SimConfig::quick(),
+    );
+    assert!(r.avg_hops <= 4.0);
+    assert!(r.delivered > 0);
+}
+
+#[test]
+fn custom_algorithm_via_with_algorithm() {
+    // The trait entry point: a caller-built Box<dyn RoutingAlgorithm>
+    // behaves identically to the enum constructor.
+    let (topo, tables) = setup(7, 3);
+    let dests = resolve(
+        TrafficPattern::Uniform,
+        topo.graph(),
+        &topo.host_routers(),
+        2,
+    );
+    let cfg = SimConfig::quick().seed(11);
+    let via_enum = simulate(&topo, &tables, &dests, Routing::UgalPf, 0.3, cfg.clone());
+    let algo = Routing::UgalPf.algorithm(&topo);
+    let via_trait = Engine::with_algorithm(&topo, &tables, &dests, algo, 0.3, cfg).run();
+    assert_eq!(via_enum.generated, via_trait.generated);
+    assert_eq!(via_enum.delivered, via_trait.delivered);
+    assert!((via_enum.avg_latency - via_trait.avg_latency).abs() < 1e-12);
+    assert!((via_enum.accepted_load - via_trait.accepted_load).abs() < 1e-12);
+}

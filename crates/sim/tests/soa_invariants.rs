@@ -1,0 +1,120 @@
+//! Property tests for the structure-of-arrays hot-path containers and
+//! the engine's credit accounting: FIFO order is preserved, credits
+//! never exceed buffer depth, and no flit is lost across
+//! warmup → measure → drain.
+
+use pf_sim::engine::{Engine, SimConfig};
+use pf_sim::queues::SourceQueues;
+use pf_sim::tables::RouteTables;
+use pf_sim::traffic::{resolve, TrafficPattern};
+use pf_sim::{FlitRings, Routing};
+use pf_topo::{PolarFlyTopo, Topology};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// FlitRings against a VecDeque reference model: random interleaved
+    /// push/pop across several queues preserves exact FIFO contents.
+    #[test]
+    fn flit_rings_match_fifo_model(cap in 1u32..24, queues in 1usize..6, seed in 0u64..10_000) {
+        let mut rings = FlitRings::new(queues, cap);
+        let mut model: Vec<VecDeque<(u32, u16, u32)>> = vec![VecDeque::new(); queues];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut stamp = 0u32;
+        for _ in 0..400 {
+            let q = rng.gen_range(0..queues);
+            if rng.gen::<f64>() < 0.55 {
+                if model[q].len() < cap as usize {
+                    let flit = (stamp, (stamp % 7) as u16, stamp / 3);
+                    rings.push_back(q, flit.0, flit.1, flit.2);
+                    model[q].push_back(flit);
+                    stamp += 1;
+                }
+            } else if let Some(expect) = model[q].pop_front() {
+                prop_assert_eq!(rings.front(q), Some(expect));
+                rings.pop_front(q);
+            } else {
+                prop_assert_eq!(rings.front(q), None);
+            }
+            prop_assert_eq!(rings.len(q) as usize, model[q].len());
+        }
+        // Full drain check: remaining contents match in order.
+        for (q, queue_model) in model.iter().enumerate() {
+            for (i, &expect) in queue_model.iter().enumerate() {
+                prop_assert_eq!(rings.get(q, i as u32), expect);
+            }
+        }
+        let total: usize = model.iter().map(|m| m.len()).sum();
+        prop_assert_eq!(rings.total_flits(), total);
+    }
+
+    /// SourceQueues against a Vec reference model: pushes interleaved
+    /// with front-window removals preserve order.
+    #[test]
+    fn source_queues_match_vec_model(seed in 0u64..10_000, window in 1usize..8) {
+        let mut q = SourceQueues::new(1);
+        let mut model: Vec<u32> = Vec::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut next = 0u32;
+        for _ in 0..250 {
+            for _ in 0..rng.gen_range(0..4u32) {
+                q.push(0, next);
+                model.push(next);
+                next += 1;
+            }
+            let w = window.min(q.len(0));
+            if w > 0 {
+                // Random ascending subset of the first w positions.
+                let idxs: Vec<usize> = (0..w).filter(|_| rng.gen::<f64>() < 0.4).collect();
+                q.remove_front(0, &idxs, w);
+                for &i in idxs.iter().rev() {
+                    model.remove(i);
+                }
+            }
+            prop_assert_eq!(q.len(0), model.len());
+        }
+        let got: Vec<u32> = (0..q.len(0)).map(|i| q.get(0, i)).collect();
+        prop_assert_eq!(got, model);
+    }
+
+    /// Engine credit accounting under random configurations: at every
+    /// sampled cycle, credits never exceed buffer depth and every spent
+    /// credit corresponds to exactly one buffered or in-flight flit;
+    /// after the drain, no flit is lost.
+    #[test]
+    fn credits_bounded_and_no_flit_lost(
+        q in prop_oneof![Just(5u64), Just(7)],
+        p in 1usize..4,
+        load in 0.1f64..0.9,
+        routing in prop_oneof![Just(Routing::Min), Just(Routing::MinAdaptive), Just(Routing::Valiant), Just(Routing::CompactValiant), Just(Routing::Ugal), Just(Routing::UgalPf)],
+        seed in 0u64..1000,
+        buffer in prop_oneof![Just(32u32), Just(64), Just(128)],
+    ) {
+        let topo = PolarFlyTopo::new(q, p).unwrap();
+        let tables = RouteTables::build(topo.graph(), seed);
+        let dests = resolve(TrafficPattern::Uniform, topo.graph(), &topo.host_routers(), seed);
+        let cfg = SimConfig::default()
+            .warmup(40)
+            .measure(120)
+            .drain_max(4000)
+            .gen_cutoff(160)
+            .buffer_flits_per_port(buffer)
+            .seed(seed);
+        let mut e = Engine::new(&topo, &tables, &dests, routing, load, cfg);
+        for cycle in 0..4200 {
+            e.step();
+            if cycle % 13 == 0 {
+                e.validate_flow_invariants();
+            }
+        }
+        e.validate_flow_invariants();
+        prop_assert_eq!(e.flits_in_network(), 0);
+        prop_assert_eq!(e.source_backlog(), 0);
+        prop_assert_eq!(e.active_streams(), 0);
+        prop_assert_eq!(e.total_delivered(), e.total_generated());
+    }
+}

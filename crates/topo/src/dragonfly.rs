@@ -60,7 +60,13 @@ impl Dragonfly {
                 b.add_edge_dedup(id(g, i / h), id(tg, ti / h));
             }
         }
-        Dragonfly { a, h, p, groups, graph: b.build() }
+        Dragonfly {
+            a,
+            h,
+            p,
+            groups,
+            graph: b.build(),
+        }
     }
 
     /// The paper's balanced DF1: `a = 12, h = 6, p = 6` (876 routers).
@@ -146,8 +152,12 @@ mod tests {
     fn every_router_has_h_global_links() {
         let df = Dragonfly::new(6, 3, 3);
         for r in 0..df.router_count() as u32 {
-            let global =
-                df.graph().neighbors(r).iter().filter(|&&w| df.group_of(w) != df.group_of(r)).count();
+            let global = df
+                .graph()
+                .neighbors(r)
+                .iter()
+                .filter(|&&w| df.group_of(w) != df.group_of(r))
+                .count();
             assert_eq!(global, 3, "router {r}");
         }
     }

@@ -55,7 +55,10 @@ impl FatTree {
                 }
             }
         }
-        FatTree { k, graph: b.build() }
+        FatTree {
+            k,
+            graph: b.build(),
+        }
     }
 
     /// The Table V instance: `k = 18` → 972 switches, radix 36, 5 832 hosts.

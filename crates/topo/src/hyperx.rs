@@ -31,7 +31,12 @@ impl HyperX {
                 }
             }
         }
-        HyperX { a, b, p, graph: g.build() }
+        HyperX {
+            a,
+            b,
+            p,
+            graph: g.build(),
+        }
     }
 
     /// Balanced square HyperX of the largest size with degree ≤ `max_degree`.

@@ -17,7 +17,12 @@ impl Jellyfish {
     /// Builds a connected random `k`-regular network on `n` routers with
     /// `p` endpoints each. Deterministic in `seed`.
     pub fn new(n: usize, k: usize, p: usize, seed: u64) -> Jellyfish {
-        Jellyfish { graph: random_regular::random_regular(n, k, seed), k, p, seed }
+        Jellyfish {
+            graph: random_regular::random_regular(n, k, seed),
+            k,
+            p,
+            seed,
+        }
     }
 
     /// The Table V configuration: 993 routers, network radix 32, p = 16.
@@ -33,7 +38,13 @@ impl Jellyfish {
 
 impl Topology for Jellyfish {
     fn name(&self) -> String {
-        format!("JF(n={},k={},p={},s={})", self.graph.vertex_count(), self.k, self.p, self.seed)
+        format!(
+            "JF(n={},k={},p={},s={})",
+            self.graph.vertex_count(),
+            self.k,
+            self.p,
+            self.seed
+        )
     }
 
     fn graph(&self) -> &Csr {

@@ -36,4 +36,4 @@ pub use jellyfish::Jellyfish;
 pub use mlfm::Mlfm;
 pub use oft::Oft;
 pub use slimfly::SlimFly;
-pub use traits::{PolarFlyTopo, Topology};
+pub use traits::{PolarFlyTopo, RoutingHint, Topology};

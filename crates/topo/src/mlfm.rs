@@ -33,13 +33,17 @@ impl Mlfm {
     /// per switch. Switch radix is `(m − 1) + h`.
     pub fn new(m: u32, layers: u32, hosts_per_switch: u32) -> Mlfm {
         assert!(m >= 2 && layers >= 1 && hosts_per_switch >= 1);
-        Mlfm { m, layers, hosts_per_switch }
+        Mlfm {
+            m,
+            layers,
+            hosts_per_switch,
+        }
     }
 
     /// Balanced MLFM for a given switch radix `k`: `m = k/2 + 1` switches
     /// of which `k/2` ports face hosts (the SC'15 sizing).
     pub fn balanced(k: u32) -> Mlfm {
-        assert!(k >= 4 && k % 2 == 0);
+        assert!(k >= 4 && k.is_multiple_of(2));
         Mlfm::new(k / 2 + 1, 2, k / 2)
     }
 

@@ -37,7 +37,11 @@ impl Oft {
                 b.add_edge(point_idx as u32, (n + line_idx) as u32);
             }
         }
-        Ok(Oft { q: plane.field().order(), graph: b.build(), side: n })
+        Ok(Oft {
+            q: plane.field().order(),
+            graph: b.build(),
+            side: n,
+        })
     }
 
     /// The construction parameter `q`.
@@ -143,7 +147,9 @@ mod tests {
         let oft = Oft::new(7).unwrap();
         let pf = polarfly::PolarFly::new(7).unwrap();
         assert_eq!(oft.router_count(), 2 * pf.router_count());
-        let spines = (0..oft.router_count() as u32).filter(|&r| oft.endpoints(r) == 0).count();
+        let spines = (0..oft.router_count() as u32)
+            .filter(|&r| oft.endpoints(r) == 0)
+            .count();
         assert_eq!(spines, pf.router_count());
     }
 }

@@ -47,7 +47,9 @@ impl std::fmt::Display for SlimFlyError {
         match self {
             SlimFlyError::NotPrimePower(q) => write!(f, "q = {q} is not a prime power"),
             SlimFlyError::BadResidue(q) => write!(f, "q = {q} ≡ 2 (mod 4) is not an MMS parameter"),
-            SlimFlyError::NoGeneratorSets(q) => write!(f, "no MMS generator sets found for q = {q}"),
+            SlimFlyError::NoGeneratorSets(q) => {
+                write!(f, "no MMS generator sets found for q = {q}")
+            }
         }
     }
 }
@@ -90,7 +92,14 @@ impl SlimFly {
         let (gen_x, gen_xp) =
             find_generator_sets(&field, delta).ok_or(SlimFlyError::NoGeneratorSets(q))?;
         let graph = build_graph(&field, &gen_x, &gen_xp);
-        Ok(SlimFly { q: field.order(), delta, graph, p, gen_x, gen_xp })
+        Ok(SlimFly {
+            q: field.order(),
+            delta,
+            graph,
+            p,
+            gen_x,
+            gen_xp,
+        })
     }
 
     /// The MMS parameter `q`.
@@ -235,7 +244,9 @@ fn find_generator_sets(f: &Gf, delta: i32) -> Option<(Vec<u32>, Vec<u32>)> {
             // q = 2^s: {even exponents} / {odd exponents} of sizes q/2 —
             // 2 is coprime to the odd group order so both hit q/2 values.
             let x: Vec<u32> = (0..q / 2).map(|j| powers[((2 * j) % n) as usize]).collect();
-            let xp: Vec<u32> = (0..q / 2).map(|j| powers[((2 * j + 1) % n) as usize]).collect();
+            let xp: Vec<u32> = (0..q / 2)
+                .map(|j| powers[((2 * j + 1) % n) as usize])
+                .collect();
             candidates.push((x, xp));
         }
         _ => unreachable!(),
@@ -340,7 +351,10 @@ mod tests {
         let sf = SlimFly::new(q, 1).unwrap();
         let n = 2 * q * q;
         assert_eq!(sf.router_count() as u64, n, "q={q}");
-        assert!(sf.graph().is_regular(sf.degree() as usize), "q={q} not regular");
+        assert!(
+            sf.graph().is_regular(sf.degree() as usize),
+            "q={q} not regular"
+        );
         assert_eq!(bfs::diameter(sf.graph()), Some(2), "q={q} diameter");
     }
 
@@ -398,7 +412,10 @@ mod tests {
 
     #[test]
     fn rejects_bad_parameters() {
-        assert_eq!(SlimFly::new(6, 1).unwrap_err(), SlimFlyError::NotPrimePower(6));
+        assert_eq!(
+            SlimFly::new(6, 1).unwrap_err(),
+            SlimFlyError::NotPrimePower(6)
+        );
         assert_eq!(SlimFly::new(2, 1).unwrap_err(), SlimFlyError::BadResidue(2));
     }
 

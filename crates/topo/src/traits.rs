@@ -4,6 +4,17 @@
 use pf_graph::Csr;
 use polarfly::PolarFly;
 
+/// What a topology can tell routing layers about its structure, beyond
+/// the bare graph. Simulators use this to swap table lookups for
+/// closed-form next-hop computation when the topology supports one.
+pub enum RoutingHint<'a> {
+    /// No structure to exploit: route from generic shortest-path tables.
+    Generic,
+    /// The router graph is `ER_q`: minimal next hops are computable in
+    /// O(1) via the cross product (`polarfly::routing::next_hop_minimal`).
+    PolarFly(&'a PolarFly),
+}
+
 /// A network topology as the simulator sees it: a router graph plus the
 /// number of compute endpoints attached to each router (zero for pure
 /// switches, e.g. non-edge fat-tree levels).
@@ -25,18 +36,27 @@ pub trait Topology: Send + Sync {
     /// Routers that have at least one endpoint ("hosts" for traffic
     /// patterns), ascending.
     fn host_routers(&self) -> Vec<u32> {
-        (0..self.router_count() as u32).filter(|&r| self.endpoints(r) > 0).collect()
+        (0..self.router_count() as u32)
+            .filter(|&r| self.endpoints(r) > 0)
+            .collect()
     }
 
     /// Total endpoint count.
     fn total_endpoints(&self) -> usize {
-        (0..self.router_count() as u32).map(|r| self.endpoints(r)).sum()
+        (0..self.router_count() as u32)
+            .map(|r| self.endpoints(r))
+            .sum()
     }
 
     /// Whether the topology is direct (every router is also a compute
     /// node). Direct networks need only one co-packaged chip type (§III).
     fn is_direct(&self) -> bool {
         true
+    }
+
+    /// Structural routing hint (default: nothing to exploit).
+    fn routing_hint(&self) -> RoutingHint<'_> {
+        RoutingHint::Generic
     }
 }
 
@@ -51,7 +71,10 @@ pub struct PolarFlyTopo {
 impl PolarFlyTopo {
     /// Builds `ER_q` with `p` endpoints on every router.
     pub fn new(q: u64, p: usize) -> Result<Self, pf_galois::GfError> {
-        Ok(PolarFlyTopo { pf: PolarFly::new(q)?, p })
+        Ok(PolarFlyTopo {
+            pf: PolarFly::new(q)?,
+            p,
+        })
     }
 
     /// Balanced variant: `p = (q+1)/2` (endpoint:radix = 1:2), as used in
@@ -79,6 +102,10 @@ impl Topology for PolarFlyTopo {
     fn endpoints(&self, _r: u32) -> usize {
         self.p
     }
+
+    fn routing_hint(&self) -> RoutingHint<'_> {
+        RoutingHint::PolarFly(&self.pf)
+    }
 }
 
 /// A pre-built graph exposed as a uniform-endpoint [`Topology`] — used for
@@ -92,7 +119,11 @@ pub struct GraphTopo {
 impl GraphTopo {
     /// Wraps an arbitrary router graph with `p` endpoints per router.
     pub fn new(name: impl Into<String>, graph: Csr, p: usize) -> Self {
-        GraphTopo { name: name.into(), graph, p }
+        GraphTopo {
+            name: name.into(),
+            graph,
+            p,
+        }
     }
 }
 

@@ -20,7 +20,10 @@ fn main() {
 
     // PolarFly candidates: q prime power, k = q + 1 <= radix.
     println!("PolarFly candidates (diameter 2):");
-    println!("{:>6} {:>7} {:>9} {:>8} {:>10}", "q", "radix", "routers", "%Moore", "fits?");
+    println!(
+        "{:>6} {:>7} {:>9} {:>8} {:>10}",
+        "q", "radix", "routers", "%Moore", "fits?"
+    );
     let mut best_pf: Option<(u64, u64)> = None;
     for q in primes::prime_powers_in(2, radix - 1) {
         let n = q * q + q + 1;
@@ -31,26 +34,38 @@ fn main() {
             best_pf = Some((q, n));
         }
         if k + 6 >= radix || fits {
-            println!("{q:>6} {k:>7} {n:>9} {pct:>8.2} {:>10}", if fits { "yes" } else { "" });
+            println!(
+                "{q:>6} {k:>7} {n:>9} {pct:>8.2} {:>10}",
+                if fits { "yes" } else { "" }
+            );
         }
     }
 
     // Slim Fly candidates at the same budget.
     println!("\nSlim Fly candidates (diameter 2):");
-    println!("{:>6} {:>7} {:>9} {:>8} {:>10}", "q", "radix", "routers", "%Moore", "fits?");
+    println!(
+        "{:>6} {:>7} {:>9} {:>8} {:>10}",
+        "q", "radix", "routers", "%Moore", "fits?"
+    );
     for p in feasibility::slimfly_moore_curve(radix) {
         let fits = p.routers >= target;
         if p.degree + 8 >= radix || fits {
             println!(
                 "{:>6} {:>7} {:>9} {:>8.2} {:>10}",
-                "-", p.degree, p.routers, p.percent_of_moore,
+                "-",
+                p.degree,
+                p.routers,
+                p.percent_of_moore,
                 if fits { "yes" } else { "" }
             );
         }
     }
 
     if let Some((q, n)) = best_pf {
-        println!("\nSmallest fitting PolarFly: q = {q} -> {n} routers at radix {}", q + 1);
+        println!(
+            "\nSmallest fitting PolarFly: q = {q} -> {n} routers at radix {}",
+            q + 1
+        );
         println!("Expansion headroom without rewiring (non-quadric replication, diameter 3):");
         for steps in [1u64, q / 4, q / 2] {
             if steps == 0 {

@@ -13,7 +13,10 @@ fn main() {
     println!("  routers       : {} (= q² + q + 1)", pf.router_count());
     println!("  network radix : {} (= q + 1)", pf.degree());
     println!("  diameter      : {}", pf.measured_diameter().unwrap());
-    println!("  Moore bound   : {:.2}% of 1 + k²", 100.0 * pf.moore_fraction());
+    println!(
+        "  Moore bound   : {:.2}% of 1 + k²",
+        100.0 * pf.moore_fraction()
+    );
 
     // Vertex classes (paper §IV-F).
     let w = pf.quadrics().len();
@@ -42,8 +45,14 @@ fn main() {
 
     // The modular rack layout (paper §V, Algorithm 1).
     let layout = Layout::new(&pf);
-    println!("\nlayout: {} racks (1 quadric rack + q fan racks)", layout.cluster_count());
-    println!("  rack C0 (quadrics): {} routers, no internal links", layout.cluster(0).len());
+    println!(
+        "\nlayout: {} racks (1 quadric rack + q fan racks)",
+        layout.cluster_count()
+    );
+    println!(
+        "  rack C0 (quadrics): {} routers, no internal links",
+        layout.cluster(0).len()
+    );
     println!(
         "  rack C1: center router {}, {} fan-blade triangles",
         layout.center(1),

@@ -14,7 +14,11 @@ fn main() {
     let q = 13u64;
     let pf = PolarFly::new(q).unwrap();
     let g = pf.graph();
-    println!("PolarFly q={q}: {} routers, {} links\n", g.vertex_count(), g.edge_count());
+    println!(
+        "PolarFly q={q}: {} routers, {} links\n",
+        g.vertex_count(),
+        g.edge_count()
+    );
 
     // Why the diameter jumps to 4 quickly but then stays there: a quadric
     // link has no 2- or 3-hop alternative, but O(q²) 4-hop ones.
@@ -22,14 +26,26 @@ fn main() {
     let u = g.neighbors(w)[0];
     let d = measured_diversity(&pf, w, u);
     println!("path diversity for quadric link {w}-{u}:");
-    println!("  1-hop: {}  2-hop: {}  3-hop: {}  4-hop: {}", d.len1, d.len2, d.len3, d.len4);
-    println!("  -> one quadric-link failure forces a 4-hop detour, but {} of them exist\n", d.len4);
+    println!(
+        "  1-hop: {}  2-hop: {}  3-hop: {}  4-hop: {}",
+        d.len1, d.len2, d.len3, d.len4
+    );
+    println!(
+        "  -> one quadric-link failure forces a 4-hop detour, but {} of them exist\n",
+        d.len4
+    );
 
     // Single seeded trial with a fine-grained curve.
     let checkpoints: Vec<f64> = (0..=12).map(|i| i as f64 * 0.05).collect();
     let trial = failure_trial(g, &checkpoints, 7);
-    println!("single failure trial (seed 7): disconnects at {:.1}% links failed", 100.0 * trial.disconnect_ratio);
-    println!("{:>7} {:>9} {:>7} {:>10}", "fail%", "diameter", "ASPL", "connected");
+    println!(
+        "single failure trial (seed 7): disconnects at {:.1}% links failed",
+        100.0 * trial.disconnect_ratio
+    );
+    println!(
+        "{:>7} {:>9} {:>7} {:>10}",
+        "fail%", "diameter", "ASPL", "connected"
+    );
     for p in &trial.curve {
         println!(
             "{:>6.0}% {:>9} {:>7.3} {:>10}",
@@ -45,5 +61,8 @@ fn main() {
 
     // Median over many trials (the paper's Fig. 14 methodology).
     let (median, _) = median_failure_trial(g, 25, &[0.0], 99);
-    println!("\nmedian disconnection ratio over 25 trials: {:.1}% of links", 100.0 * median);
+    println!(
+        "\nmedian disconnection ratio over 25 trials: {:.1}% of links",
+        100.0 * median
+    );
 }

@@ -15,10 +15,18 @@ use pf_topo::{PolarFlyTopo, Topology};
 fn main() {
     // Balanced PolarFly q=13: 183 routers, radix 14, 7 endpoints each.
     let topo = PolarFlyTopo::balanced(13).unwrap();
-    println!("simulating {} ({} routers, {} endpoints)\n", topo.name(), topo.router_count(), topo.total_endpoints());
+    println!(
+        "simulating {} ({} routers, {} endpoints)\n",
+        topo.name(),
+        topo.router_count(),
+        topo.total_endpoints()
+    );
 
     let tables = RouteTables::build(topo.graph(), 1);
-    let cfg = SimConfig { warmup: 300, measure: 800, drain_max: 1200, ..SimConfig::default() };
+    let cfg = SimConfig::default()
+        .warmup(300)
+        .measure(800)
+        .drain_max(1200);
 
     println!(
         "{:<10} {:<8} {:>7} {:>10} {:>12} {:>7}",

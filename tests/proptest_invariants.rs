@@ -108,14 +108,12 @@ proptest! {
         let topo = PolarFlyTopo::new(q, p).unwrap();
         let tables = RouteTables::build(topo.graph(), seed);
         let dests = resolve(TrafficPattern::Uniform, topo.graph(), &topo.host_routers(), seed);
-        let cfg = SimConfig {
-            warmup: 50,
-            measure: 150,
-            drain_max: 3000,
-            gen_cutoff: 200,
-            seed,
-            ..SimConfig::default()
-        };
+        let cfg = SimConfig::default()
+            .warmup(50)
+            .measure(150)
+            .drain_max(3000)
+            .gen_cutoff(200)
+            .seed(seed);
         let mut e = Engine::new(&topo, &tables, &dests, routing, load, cfg);
         for _ in 0..3000 {
             e.step();

@@ -11,7 +11,7 @@ use polarfly::routing::{next_hop_minimal, MinRouteTable};
 use polarfly::PolarFly;
 
 fn quick_cfg() -> SimConfig {
-    SimConfig { warmup: 200, measure: 500, drain_max: 900, ..SimConfig::default() }
+    SimConfig::default().warmup(200).measure(500).drain_max(900)
 }
 
 #[test]
@@ -25,7 +25,11 @@ fn algebraic_routing_agrees_with_bfs_tables() {
                 continue;
             }
             // Unique minimal paths in ER_q: both tables must agree exactly.
-            assert_eq!(algebraic.next_hop(s, d), bfs_tables.next_hop(s, d), "{s}->{d}");
+            assert_eq!(
+                algebraic.next_hop(s, d),
+                bfs_tables.next_hop(s, d),
+                "{s}->{d}"
+            );
             assert_eq!(next_hop_minimal(&pf, s, d), bfs_tables.next_hop(s, d));
         }
     }
@@ -35,11 +39,20 @@ fn algebraic_routing_agrees_with_bfs_tables() {
 fn uniform_min_delivers_at_moderate_load() {
     let topo = PolarFlyTopo::new(7, 4).unwrap();
     let tables = RouteTables::build(topo.graph(), 1);
-    let dests = resolve(TrafficPattern::Uniform, topo.graph(), &topo.host_routers(), 2);
+    let dests = resolve(
+        TrafficPattern::Uniform,
+        topo.graph(),
+        &topo.host_routers(),
+        2,
+    );
     let r = simulate(&topo, &tables, &dests, Routing::Min, 0.4, quick_cfg());
     assert!(!r.saturated);
     assert_eq!(r.delivered, r.generated);
-    assert!((r.accepted_load - 0.4).abs() < 0.03, "accepted {}", r.accepted_load);
+    assert!(
+        (r.accepted_load - 0.4).abs() < 0.03,
+        "accepted {}",
+        r.accepted_load
+    );
     assert!(r.avg_hops <= 2.0);
 }
 
@@ -49,7 +62,12 @@ fn permutation_collapses_min_to_one_over_p() {
     let p = 4usize;
     let topo = PolarFlyTopo::new(7, p).unwrap();
     let tables = RouteTables::build(topo.graph(), 1);
-    let dests = resolve(TrafficPattern::RandomPermutation, topo.graph(), &topo.host_routers(), 2);
+    let dests = resolve(
+        TrafficPattern::RandomPermutation,
+        topo.graph(),
+        &topo.host_routers(),
+        2,
+    );
     let r = simulate(&topo, &tables, &dests, Routing::Min, 0.9, quick_cfg());
     let bound = 1.0 / p as f64;
     assert!(
@@ -63,7 +81,12 @@ fn permutation_collapses_min_to_one_over_p() {
 fn adaptive_routing_recovers_permutation_throughput() {
     let topo = PolarFlyTopo::new(7, 4).unwrap();
     let tables = RouteTables::build(topo.graph(), 1);
-    let dests = resolve(TrafficPattern::RandomPermutation, topo.graph(), &topo.host_routers(), 2);
+    let dests = resolve(
+        TrafficPattern::RandomPermutation,
+        topo.graph(),
+        &topo.host_routers(),
+        2,
+    );
     let min = simulate(&topo, &tables, &dests, Routing::Min, 0.5, quick_cfg());
     let ugal = simulate(&topo, &tables, &dests, Routing::Ugal, 0.5, quick_cfg());
     let ugal_pf = simulate(&topo, &tables, &dests, Routing::UgalPf, 0.5, quick_cfg());
@@ -87,7 +110,12 @@ fn ugal_pf_matches_min_at_low_uniform_load() {
     // its low-load latency matches MIN.
     let topo = PolarFlyTopo::new(7, 4).unwrap();
     let tables = RouteTables::build(topo.graph(), 1);
-    let dests = resolve(TrafficPattern::Uniform, topo.graph(), &topo.host_routers(), 2);
+    let dests = resolve(
+        TrafficPattern::Uniform,
+        topo.graph(),
+        &topo.host_routers(),
+        2,
+    );
     let min = simulate(&topo, &tables, &dests, Routing::Min, 0.15, quick_cfg());
     let upf = simulate(&topo, &tables, &dests, Routing::UgalPf, 0.15, quick_cfg());
     assert!((min.avg_latency - upf.avg_latency).abs() < 1.0);
@@ -100,7 +128,12 @@ fn fat_tree_nca_is_permutation_insensitive() {
     let ft = FatTree::new(4);
     let tables = RouteTables::build(ft.graph(), 1);
     let uni = resolve(TrafficPattern::Uniform, ft.graph(), &ft.host_routers(), 2);
-    let perm = resolve(TrafficPattern::RandomPermutation, ft.graph(), &ft.host_routers(), 2);
+    let perm = resolve(
+        TrafficPattern::RandomPermutation,
+        ft.graph(),
+        &ft.host_routers(),
+        2,
+    );
     let r_uni = simulate(&ft, &tables, &uni, Routing::MinAdaptive, 0.5, quick_cfg());
     let r_perm = simulate(&ft, &tables, &perm, Routing::MinAdaptive, 0.5, quick_cfg());
     assert!(!r_uni.saturated && !r_perm.saturated);
@@ -116,11 +149,18 @@ fn fat_tree_nca_is_permutation_insensitive() {
 fn perm1hop_and_perm2hop_have_exact_min_path_lengths() {
     let topo = PolarFlyTopo::new(7, 2).unwrap();
     let tables = RouteTables::build(topo.graph(), 1);
-    for (pattern, hops) in [(TrafficPattern::Perm1Hop, 1.0), (TrafficPattern::Perm2Hop, 2.0)] {
+    for (pattern, hops) in [
+        (TrafficPattern::Perm1Hop, 1.0),
+        (TrafficPattern::Perm2Hop, 2.0),
+    ] {
         let dests = resolve(pattern, topo.graph(), &topo.host_routers(), 5);
         let r = simulate(&topo, &tables, &dests, Routing::Min, 0.1, quick_cfg());
         assert!(!r.saturated);
-        assert!((r.avg_hops - hops).abs() < 1e-9, "{pattern:?}: hops {}", r.avg_hops);
+        assert!(
+            (r.avg_hops - hops).abs() < 1e-9,
+            "{pattern:?}: hops {}",
+            r.avg_hops
+        );
     }
 }
 
@@ -128,7 +168,12 @@ fn perm1hop_and_perm2hop_have_exact_min_path_lengths() {
 fn simulation_is_deterministic_in_seed() {
     let topo = PolarFlyTopo::new(5, 2).unwrap();
     let tables = RouteTables::build(topo.graph(), 9);
-    let dests = resolve(TrafficPattern::Uniform, topo.graph(), &topo.host_routers(), 9);
+    let dests = resolve(
+        TrafficPattern::Uniform,
+        topo.graph(),
+        &topo.host_routers(),
+        9,
+    );
     let a = simulate(&topo, &tables, &dests, Routing::Ugal, 0.3, quick_cfg());
     let b = simulate(&topo, &tables, &dests, Routing::Ugal, 0.3, quick_cfg());
     assert_eq!(a.generated, b.generated);

@@ -99,9 +99,21 @@ fn fluid_model_ranks_patterns_correctly() {
     let topo = PolarFlyTopo::new(7, 4).unwrap();
     let tables = RouteTables::build(topo.graph(), 1);
     let hosts = topo.host_routers();
-    let uni = analyze(&topo, &tables, &resolve(TrafficPattern::Uniform, topo.graph(), &hosts, 1));
-    let tor = analyze(&topo, &tables, &resolve(TrafficPattern::Tornado, topo.graph(), &hosts, 1));
-    let p1 = analyze(&topo, &tables, &resolve(TrafficPattern::Perm1Hop, topo.graph(), &hosts, 1));
+    let uni = analyze(
+        &topo,
+        &tables,
+        &resolve(TrafficPattern::Uniform, topo.graph(), &hosts, 1),
+    );
+    let tor = analyze(
+        &topo,
+        &tables,
+        &resolve(TrafficPattern::Tornado, topo.graph(), &hosts, 1),
+    );
+    let p1 = analyze(
+        &topo,
+        &tables,
+        &resolve(TrafficPattern::Perm1Hop, topo.graph(), &hosts, 1),
+    );
     assert!(uni.saturation > 0.9);
     assert!(tor.saturation <= 0.25 + 1e-9); // 1/p
     assert!((p1.saturation - 0.25).abs() < 1e-9);
@@ -112,14 +124,19 @@ fn fluid_model_ranks_patterns_correctly() {
 fn engine_efficiency_factor_is_uniform_across_topologies() {
     // The EXPERIMENTS.md claim backing "orderings preserved": the engine's
     // saturation / fluid-bound ratio is in a narrow band for PF and SF.
-    let cfg = SimConfig { warmup: 300, measure: 700, drain_max: 600, ..SimConfig::default() };
+    let cfg = SimConfig::default().warmup(300).measure(700).drain_max(600);
     let mut ratios = Vec::new();
     let pf = PolarFlyTopo::new(9, 5).unwrap();
     let sf = SlimFly::new(9, 6).unwrap();
     let topos: [&dyn Topology; 2] = [&pf, &sf];
     for topo in topos {
         let tables = RouteTables::build(topo.graph(), 1);
-        let dests = resolve(TrafficPattern::Uniform, topo.graph(), &topo.host_routers(), 1);
+        let dests = resolve(
+            TrafficPattern::Uniform,
+            topo.graph(),
+            &topo.host_routers(),
+            1,
+        );
         let fluid = analyze(topo, &tables, &dests);
         let sim = simulate(topo, &tables, &dests, Routing::Min, 1.0, cfg.clone());
         ratios.push(sim.accepted_load / fluid.saturation);

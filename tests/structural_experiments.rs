@@ -4,10 +4,10 @@
 
 use pf_graph::failures::failure_trial;
 use pf_graph::partition::{bisect, bisection_cut_fraction};
+use pf_topo::Topology;
 use polarfly::expansion::{replicate_non_quadric, replicate_quadric, stats};
 use polarfly::paths::verify_table_vi;
 use polarfly::triangles::{census, cluster_triplet_design_holds, expected_census};
-use pf_topo::Topology;
 use polarfly::{Layout, PolarFly};
 
 #[test]
@@ -106,7 +106,12 @@ fn diameter_stays_four_under_heavy_failures() {
     let trial = failure_trial(pf.graph(), &[0.1, 0.2, 0.3], 3);
     for p in &trial.curve {
         assert!(p.connected, "disconnected at {}", p.failure_ratio);
-        assert!(p.diameter <= 4, "diameter {} at {}", p.diameter, p.failure_ratio);
+        assert!(
+            p.diameter <= 4,
+            "diameter {} at {}",
+            p.diameter,
+            p.failure_ratio
+        );
     }
 }
 
@@ -119,5 +124,9 @@ fn layout_is_starter_invariant_for_triangle_counts() {
         let c = census(&pf, &layout);
         counts.insert((c.total, c.intra_cluster, c.inter_cluster));
     }
-    assert_eq!(counts.len(), 1, "census must not depend on the starter quadric");
+    assert_eq!(
+        counts.len(),
+        1,
+        "census must not depend on the starter quadric"
+    );
 }

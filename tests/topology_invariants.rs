@@ -34,8 +34,14 @@ fn polarfly_moore_efficiency_exceeds_96_percent_at_moderate_radix() {
 fn class_structure_only_for_odd_q() {
     let pf = PolarFly::new(13).unwrap();
     let q = 13u64;
-    assert_eq!(pf.routers_in_class(VertexClass::V1).len() as u64, q * (q + 1) / 2);
-    assert_eq!(pf.routers_in_class(VertexClass::V2).len() as u64, q * (q - 1) / 2);
+    assert_eq!(
+        pf.routers_in_class(VertexClass::V1).len() as u64,
+        q * (q + 1) / 2
+    );
+    assert_eq!(
+        pf.routers_in_class(VertexClass::V2).len() as u64,
+        q * (q - 1) / 2
+    );
 }
 
 #[test]

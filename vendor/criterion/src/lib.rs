@@ -1,0 +1,266 @@
+//! Offline stand-in for `criterion`: the subset this workspace's benches
+//! use (`Criterion::bench_function`, `benchmark_group` with
+//! `sample_size`, `Bencher::iter`, `black_box`, `criterion_group!`,
+//! `criterion_main!`).
+//!
+//! Each benchmark is auto-calibrated to ~`TARGET_SAMPLE_NS` per sample,
+//! then timed over `sample_size` samples; the harness reports
+//! median/mean/min ns-per-iteration. Set `CRITERION_JSON=<path>` to also
+//! append machine-readable results (used to refresh `BENCH_sim.json`).
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+const TARGET_SAMPLE_NS: u128 = 25_000_000; // ~25 ms per sample
+const DEFAULT_SAMPLE_SIZE: usize = 20;
+
+/// One benchmark's measured result.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Fully qualified id (`group/bench` or bare bench name).
+    pub id: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Fastest sample's nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Iterations per timed sample.
+    pub iters_per_sample: u64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+/// Timing loop handle passed to the bench closure.
+pub struct Bencher<'a> {
+    sample_size: usize,
+    result: &'a mut Option<(f64, f64, f64, u64, usize)>,
+}
+
+impl Bencher<'_> {
+    /// Measures `f`, auto-calibrating the per-sample iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibration: find an iteration count reaching the target sample
+        // duration (doubling probe), with a floor of one iteration.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed().as_nanos().max(1);
+            if elapsed >= TARGET_SAMPLE_NS / 4 || iters >= 1 << 30 {
+                let scaled = (iters as u128 * TARGET_SAMPLE_NS / elapsed).clamp(1, 1 << 30);
+                iters = scaled as u64;
+                break;
+            }
+            iters *= 2;
+        }
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            per_iter.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = per_iter[per_iter.len() / 2];
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        let min = per_iter[0];
+        *self.result = Some((median, mean, min, iters, self.sample_size));
+    }
+}
+
+/// Bench registry and runner (stand-in for criterion's `Criterion`).
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+impl Criterion {
+    fn run_one(&mut self, id: String, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut slot = None;
+        let mut b = Bencher {
+            sample_size,
+            result: &mut slot,
+        };
+        f(&mut b);
+        let (median_ns, mean_ns, min_ns, iters_per_sample, samples) =
+            slot.expect("bench closure never called Bencher::iter");
+        println!(
+            "{id:<44} time: [{} {} {}]  ({iters_per_sample} iters/sample × {samples})",
+            fmt_ns(min_ns),
+            fmt_ns(median_ns),
+            fmt_ns(mean_ns),
+        );
+        self.results.push(BenchResult {
+            id,
+            median_ns,
+            mean_ns,
+            min_ns,
+            iters_per_sample,
+            samples,
+        });
+    }
+
+    /// Runs one benchmark with the default sample size.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(id.into(), DEFAULT_SAMPLE_SIZE, &mut f);
+        self
+    }
+
+    /// Opens a named group (ids become `name/bench`).
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+
+    /// All results measured so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Prints the closing summary and honors `CRITERION_JSON`.
+    pub fn final_summary(&self) {
+        if let Ok(path) = std::env::var("CRITERION_JSON") {
+            if !path.is_empty() {
+                if let Err(e) = std::fs::write(&path, self.to_json()) {
+                    eprintln!("criterion-stub: cannot write {path}: {e}");
+                } else {
+                    println!(
+                        "criterion-stub: wrote {} results to {path}",
+                        self.results.len()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Results as a JSON document (stable key order).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"benchmarks\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"id\": \"{}\", \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"iters_per_sample\": {}, \"samples\": {}}}{}\n",
+                r.id.replace('"', "'"),
+                r.median_ns,
+                r.mean_ns,
+                r.min_ns,
+                r.iters_per_sample,
+                r.samples,
+                if i + 1 == self.results.len() { "" } else { "," },
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// A bench group sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-bench sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        self.c.run_one(id, self.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a bench group function (criterion-compatible signature).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the bench `main` (use with `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_a_result() {
+        let mut c = Criterion::default();
+        c.bench_function("spin", |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in 0..100u64 {
+                    acc = acc.wrapping_add(black_box(i));
+                }
+                acc
+            })
+        });
+        assert_eq!(c.results().len(), 1);
+        let r = &c.results()[0];
+        assert_eq!(r.id, "spin");
+        assert!(r.median_ns > 0.0);
+        assert!(r.min_ns <= r.median_ns);
+    }
+
+    #[test]
+    fn groups_prefix_ids_and_json_is_parsable_shape() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("grp");
+            g.sample_size(3);
+            g.bench_function("one", |b| b.iter(|| black_box(1 + 1)));
+            g.finish();
+        }
+        assert_eq!(c.results()[0].id, "grp/one");
+        let j = c.to_json();
+        assert!(j.contains("\"benchmarks\""));
+        assert!(j.contains("\"grp/one\""));
+    }
+}

@@ -1,0 +1,284 @@
+//! Offline stand-in for `proptest`: deterministic seeded random testing.
+//!
+//! Implements the subset this workspace uses — [`Strategy`] over numeric
+//! ranges, [`Just`], [`sample::select`], `prop_oneof!`, the `proptest!`
+//! test macro, `prop_assert!`/`prop_assert_eq!`, and
+//! [`ProptestConfig::with_cases`]. No shrinking: a failing case reports
+//! its case index and seed so it can be replayed by rerunning the test
+//! (the runner is fully deterministic).
+
+use rand::rngs::StdRng;
+
+/// Value generator: the stand-in for proptest's `Strategy`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Constant strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+/// Uniform choice among boxed strategies (the `prop_oneof!` backend).
+pub struct OneOf<T>(pub Vec<Box<dyn Strategy<Value = T>>>);
+
+/// Builder used by `prop_oneof!`; its `arm` signature unifies the value
+/// types of all arms (so integer literals infer from the first arm).
+pub struct OneOfBuilder<T>(Vec<Box<dyn Strategy<Value = T>>>);
+
+impl<T> OneOfBuilder<T> {
+    /// Empty builder.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        OneOfBuilder(Vec::new())
+    }
+
+    /// Adds one arm.
+    pub fn arm(mut self, s: impl Strategy<Value = T> + 'static) -> Self {
+        self.0.push(Box::new(s));
+        self
+    }
+
+    /// Finishes into a [`OneOf`] strategy.
+    pub fn build(self) -> OneOf<T> {
+        OneOf(self.0)
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        assert!(!self.0.is_empty(), "prop_oneof! needs at least one arm");
+        let i = rand::Rng::gen_range(rng, 0..self.0.len());
+        self.0[i].generate(rng)
+    }
+}
+
+pub mod sample {
+    //! Sampling strategies over fixed collections.
+
+    use super::Strategy;
+    use rand::rngs::StdRng;
+
+    /// Uniform selection from a static slice.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Select<T: 'static>(&'static [T]);
+
+    /// Strategy yielding a uniformly random element of `xs`.
+    pub fn select<T: Clone + 'static>(xs: &'static [T]) -> Select<T> {
+        assert!(!xs.is_empty(), "select over an empty slice");
+        Select(xs)
+    }
+
+    impl<T: Clone + 'static> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let i = rand::Rng::gen_range(rng, 0..self.0.len());
+            self.0[i].clone()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Runner configuration.
+
+    /// How many random cases each `proptest!` test executes.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Case count per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 64 }
+        }
+    }
+}
+
+/// A failed property assertion (early-exits the case body).
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+/// Case-body result type used by the macros.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+#[doc(hidden)]
+pub fn __run_cases(
+    test_name: &str,
+    cases: u32,
+    mut case: impl FnMut(&mut StdRng) -> TestCaseResult,
+) {
+    for i in 0..cases {
+        // Deterministic per-test, per-case seed: replays exactly on rerun.
+        let seed = fxhash(test_name) ^ (u64::from(i)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = <StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        if let Err(e) = case(&mut rng) {
+            panic!(
+                "proptest case {i}/{cases} of `{test_name}` failed (seed {seed:#x}): {}",
+                e.0
+            );
+        }
+    }
+}
+
+#[doc(hidden)]
+pub fn fxhash(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Defines seeded random-case tests (`proptest!` stand-in).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::Config::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $($(#[$attr:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                $crate::__run_cases(stringify!($name), config.cases, |__rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), __rng);)+
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Property assertion: fails the current case with a message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Property equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "{:?} != {:?} ({} vs {})", a, b, stringify!($a), stringify!($b));
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, $($fmt)*);
+    }};
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::OneOfBuilder::new()$(.arm($s))+.build()
+    };
+}
+
+pub mod prelude {
+    //! The glob import tests use.
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest, Just, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 10u32..20, y in 0.25f64..0.75, n in 1usize..4) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((0.25..0.75).contains(&y));
+            prop_assert!((1..4).contains(&n));
+        }
+
+        #[test]
+        fn oneof_and_select_yield_members(q in prop_oneof![Just(5u64), Just(7)],
+                                          s in crate::sample::select(&[3u64, 9, 27])) {
+            prop_assert!(q == 5 || q == 7);
+            prop_assert!([3, 9, 27].contains(&s));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed")]
+    fn failing_property_panics() {
+        crate::__run_cases("always_fails", 3, |_| {
+            prop_assert!(false, "forced failure");
+            #[allow(unreachable_code)]
+            Ok(())
+        });
+    }
+}

@@ -1,0 +1,227 @@
+//! Offline stand-in for `rayon`: the subset this workspace uses.
+//!
+//! `into_par_iter()` / `par_iter()` materialize the input and `map` /
+//! `flat_map_iter` execute eagerly across `std::thread::scope` chunks
+//! (one contiguous chunk per available core, order preserved). This keeps
+//! the coarse-grained parallelism the workspace relies on — all-pairs BFS,
+//! failure trials, per-load simulation runs — without the registry
+//! dependency. Fine-grained work-stealing is intentionally out of scope.
+
+use std::num::NonZeroUsize;
+
+/// Result of a parallel adapter: an ordered, materialized item list.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+fn thread_count(work_items: usize) -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
+    cores.min(work_items).max(1)
+}
+
+/// Applies `f` to every item on a scoped thread pool, preserving order.
+fn par_map_vec<T: Send, U: Send, F>(items: Vec<T>, f: &F) -> Vec<U>
+where
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    let threads = thread_count(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Split into `threads` contiguous chunks (front-loaded remainder).
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut rest = items;
+    for t in (0..threads).rev() {
+        let keep = (n * t) / threads;
+        chunks.push(rest.split_off(keep));
+    }
+    chunks.push(rest); // the (empty) head remainder keeps ordering code simple
+    chunks.reverse();
+    let mut out = Vec::with_capacity(n);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| s.spawn(move || chunk.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("rayon-stub worker panicked"));
+        }
+    });
+    out
+}
+
+impl<T: Send> ParIter<T> {
+    /// Eager parallel map.
+    pub fn map<U: Send, F>(self, f: F) -> ParIter<U>
+    where
+        F: Fn(T) -> U + Sync,
+    {
+        ParIter {
+            items: par_map_vec(self.items, &f),
+        }
+    }
+
+    /// Eager parallel flat-map over a sequential inner iterator.
+    pub fn flat_map_iter<U, I, F>(self, f: F) -> ParIter<U>
+    where
+        U: Send,
+        I: IntoIterator<Item = U>,
+        F: Fn(T) -> I + Sync,
+    {
+        let nested = par_map_vec(self.items, &|t| f(t).into_iter().collect::<Vec<U>>());
+        ParIter {
+            items: nested.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Eager parallel filter.
+    pub fn filter<F>(self, f: F) -> ParIter<T>
+    where
+        F: Fn(&T) -> bool + Sync,
+    {
+        let kept = par_map_vec(self.items, &|t| if f(&t) { Some(t) } else { None });
+        ParIter {
+            items: kept.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Collects the (already ordered) results.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Minimum by key, as on sequential iterators.
+    pub fn min_by_key<K: Ord, F: FnMut(&T) -> K>(self, f: F) -> Option<T> {
+        self.items.into_iter().min_by_key(f)
+    }
+
+    /// Maximum by key, as on sequential iterators.
+    pub fn max_by_key<K: Ord, F: FnMut(&T) -> K>(self, f: F) -> Option<T> {
+        self.items.into_iter().max_by_key(f)
+    }
+
+    /// Sum of the items.
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+
+    /// Item count.
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+
+    /// Eager parallel for-each.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        par_map_vec(self.items, &|t| f(t));
+    }
+}
+
+impl<T> IntoIterator for ParIter<T> {
+    type Item = T;
+    type IntoIter = std::vec::IntoIter<T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.into_iter()
+    }
+}
+
+/// `into_par_iter()` on owned collections and ranges.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+
+    /// Materializes into a [`ParIter`].
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<I> IntoParallelIterator for I
+where
+    I: IntoIterator,
+    I::Item: Send,
+{
+    type Item = I::Item;
+
+    fn into_par_iter(self) -> ParIter<I::Item> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+/// `par_iter()` on borrowed collections.
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed item type.
+    type Item: Send + 'a;
+
+    /// Materializes the borrows into a [`ParIter`].
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, C: ?Sized + 'a> IntoParallelRefIterator<'a> for C
+where
+    &'a C: IntoIterator,
+    <&'a C as IntoIterator>::Item: Send + 'a,
+{
+    type Item = <&'a C as IntoIterator>::Item;
+
+    fn par_iter(&'a self) -> ParIter<Self::Item> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob import the workspace uses.
+    pub use super::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..10_000u64).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v.len(), 10_000);
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i as u64 * 2);
+        }
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let data = vec![1u32, 2, 3, 4];
+        let doubled: Vec<u32> = data.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        assert_eq!(data.len(), 4); // still usable
+    }
+
+    #[test]
+    fn flat_map_iter_flattens_in_order() {
+        let v: Vec<u32> = (0..4u32)
+            .into_par_iter()
+            .flat_map_iter(|x| vec![x; x as usize])
+            .collect();
+        assert_eq!(v, vec![1, 2, 2, 3, 3, 3]);
+    }
+
+    #[test]
+    fn min_by_key_matches_sequential() {
+        let m = (0..100u64)
+            .into_par_iter()
+            .map(|x| (x, (x as i64 - 40).abs()))
+            .min_by_key(|&(_, k)| k);
+        assert_eq!(m, Some((40, 0)));
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let v: Vec<u32> = Vec::<u32>::new().into_par_iter().map(|x| x).collect();
+        assert!(v.is_empty());
+    }
+}
