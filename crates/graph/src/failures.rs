@@ -1,10 +1,17 @@
-//! Random link-failure experiments (Fig. 14).
+//! Random link-failure experiments (Fig. 14) and the [`FailureSet`]
+//! sampler behind live fault injection in the simulator.
 //!
 //! §IX-B of the paper: simulate random link failures until the network
 //! disconnects; over 100 trials report the *median* disconnection ratio,
 //! then plot diameter and average shortest path length versus failure
 //! ratio for a median run. (Mean/σ are unusable because diameter becomes
 //! infinite at disconnection — the paper makes the same observation.)
+//!
+//! [`FailureSet`] packages one seeded failure draw as a reusable value:
+//! the simulator stack (`pf_topo::DegradedTopo`, the engine's per-port
+//! link masks) threads it through every layer so the *same* failed links
+//! are masked in route tables, algebraic next hops, and adaptive
+//! congestion decisions.
 
 use crate::bfs::DistanceMatrix;
 use crate::csr::Csr;
@@ -12,6 +19,145 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rayon::prelude::*;
+
+/// A set of failed (removed) links, stored as the canonical (`u < v`)
+/// sorted edge list — the live-fault-injection counterpart of
+/// [`failure_trial`]'s static prefix removal.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FailureSet {
+    removed: Vec<(u32, u32)>,
+}
+
+impl FailureSet {
+    /// No failures (the healthy network).
+    pub fn empty() -> FailureSet {
+        FailureSet::default()
+    }
+
+    /// Builds from an explicit edge list (canonicalized, deduplicated).
+    pub fn from_edges(edges: &[(u32, u32)]) -> FailureSet {
+        let mut removed: Vec<(u32, u32)> = edges
+            .iter()
+            .map(|&(u, v)| if u < v { (u, v) } else { (v, u) })
+            .collect();
+        removed.sort_unstable();
+        removed.dedup();
+        FailureSet { removed }
+    }
+
+    /// Samples `round(ratio · m)` failed links as a seeded shuffle prefix
+    /// — the exact failure model of [`failure_trial`]. The residual graph
+    /// may be disconnected at high ratios; use
+    /// [`FailureSet::sample_connected`] when the consumer (e.g. the cycle
+    /// simulator) requires every router pair to stay routable.
+    pub fn sample(g: &Csr, ratio: f64, seed: u64) -> FailureSet {
+        assert!(
+            (0.0..=1.0).contains(&ratio),
+            "failure ratio must be in [0, 1]"
+        );
+        let mut order: Vec<(u32, u32)> = g.edges().to_vec();
+        let mut rng = StdRng::seed_from_u64(seed);
+        order.shuffle(&mut rng);
+        let k = ((ratio * order.len() as f64).round() as usize).min(order.len());
+        order.truncate(k);
+        FailureSet::from_edges(&order)
+    }
+
+    /// Samples like [`FailureSet::sample`] but keeps the residual graph
+    /// connected: the shuffled order is walked greedily and any link whose
+    /// removal would disconnect the survivors (a bridge at that point) is
+    /// skipped. Returns fewer than the requested links only when the
+    /// residual has been cut down to a spanning tree.
+    pub fn sample_connected(g: &Csr, ratio: f64, seed: u64) -> FailureSet {
+        assert!(
+            (0.0..=1.0).contains(&ratio),
+            "failure ratio must be in [0, 1]"
+        );
+        let m = g.edge_count();
+        let target = ((ratio * m as f64).round() as usize).min(m);
+        let mut order: Vec<usize> = (0..m).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        order.shuffle(&mut rng);
+
+        let mut removed_flags = vec![false; m];
+        // Fast path: the plain prefix usually stays connected well past
+        // the ratios the paper sweeps (PF disconnects near ~40%+).
+        for &e in &order[..target] {
+            removed_flags[e] = true;
+        }
+        if connected_without(g, &removed_flags) {
+            return FailureSet::from_edges(
+                &order[..target]
+                    .iter()
+                    .map(|&e| g.edges()[e])
+                    .collect::<Vec<_>>(),
+            );
+        }
+
+        // Greedy: re-walk the shuffled order, skipping bridges.
+        removed_flags.iter_mut().for_each(|f| *f = false);
+        let mut chosen = Vec::with_capacity(target);
+        for &e in &order {
+            if chosen.len() == target {
+                break;
+            }
+            removed_flags[e] = true;
+            if connected_without(g, &removed_flags) {
+                chosen.push(g.edges()[e]);
+            } else {
+                removed_flags[e] = false;
+            }
+        }
+        FailureSet::from_edges(&chosen)
+    }
+
+    /// Number of failed links.
+    pub fn len(&self) -> usize {
+        self.removed.len()
+    }
+
+    /// Whether no links failed.
+    pub fn is_empty(&self) -> bool {
+        self.removed.is_empty()
+    }
+
+    /// Whether `{u, v}` is failed (order-insensitive).
+    pub fn contains(&self, u: u32, v: u32) -> bool {
+        let e = if u < v { (u, v) } else { (v, u) };
+        self.removed.binary_search(&e).is_ok()
+    }
+
+    /// The failed links in canonical order.
+    pub fn edges(&self) -> &[(u32, u32)] {
+        &self.removed
+    }
+
+    /// Fraction of `g`'s links that are failed.
+    pub fn ratio(&self, g: &Csr) -> f64 {
+        if g.edge_count() == 0 {
+            0.0
+        } else {
+            self.removed.len() as f64 / g.edge_count() as f64
+        }
+    }
+
+    /// The residual graph: `g` minus the failed links (same vertex ids).
+    pub fn residual(&self, g: &Csr) -> Csr {
+        g.without_edges(&self.removed)
+    }
+}
+
+/// Connectivity of `g` restricted to edges whose flag is unset
+/// (union-find over the survivors).
+fn connected_without(g: &Csr, removed: &[bool]) -> bool {
+    let mut uf = UnionFind::new(g.vertex_count());
+    for (idx, &(u, v)) in g.edges().iter().enumerate() {
+        if !removed[idx] {
+            uf.union(u, v);
+        }
+    }
+    uf.components == 1
+}
 
 /// Network state at one failure checkpoint.
 #[derive(Debug, Clone)]
@@ -215,5 +361,56 @@ mod tests {
         let (m1, _) = median_failure_trial(&g, 9, &[0.1], 7);
         let (m2, _) = median_failure_trial(&g, 9, &[0.1], 7);
         assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn failure_set_sample_is_seeded_and_sized() {
+        let g = ring_with_chords(20);
+        let a = FailureSet::sample(&g, 0.25, 5);
+        let b = FailureSet::sample(&g, 0.25, 5);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), (0.25 * g.edge_count() as f64).round() as usize);
+        assert!((a.ratio(&g) - 0.25).abs() < 0.05);
+        for &(u, v) in a.edges() {
+            assert!(u < v);
+            assert!(g.has_edge(u, v));
+            assert!(a.contains(u, v));
+            assert!(a.contains(v, u));
+        }
+        let r = a.residual(&g);
+        assert_eq!(r.edge_count(), g.edge_count() - a.len());
+        assert_eq!(r.vertex_count(), g.vertex_count());
+    }
+
+    #[test]
+    fn sample_connected_preserves_connectivity_even_past_disconnect() {
+        // On a tree-ish sparse graph the plain prefix disconnects almost
+        // immediately; the connected sampler must skip every bridge.
+        let g = ring_with_chords(24);
+        for ratio in [0.1, 0.3, 0.5] {
+            let f = FailureSet::sample_connected(&g, ratio, 11);
+            assert!(f.residual(&g).is_connected(), "ratio {ratio}");
+        }
+        // A ring of 8: removing any 1 link keeps it connected; a second
+        // can disconnect. At 50% the sampler must stop at the spanning
+        // tree (exactly 1 removable link).
+        let mut b = GraphBuilder::new(8);
+        for i in 0..8u32 {
+            b.add_edge(i, (i + 1) % 8);
+        }
+        let ring = b.build();
+        let f = FailureSet::sample_connected(&ring, 0.5, 3);
+        assert_eq!(f.len(), 1, "a cycle has exactly one non-bridge margin");
+        assert!(f.residual(&ring).is_connected());
+    }
+
+    #[test]
+    fn empty_and_from_edges_round_trip() {
+        let g = ring_with_chords(10);
+        assert!(FailureSet::empty().is_empty());
+        assert_eq!(FailureSet::empty().ratio(&g), 0.0);
+        let f = FailureSet::from_edges(&[(3, 1), (1, 3), (2, 4)]);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.edges(), &[(1, 3), (2, 4)]);
     }
 }

@@ -16,7 +16,8 @@
 //!   Fiduccia–Mattheyses refinement with restarts. Substitute for METIS.
 //! * [`spectral`] — adjacency-eigenvalue estimation: spectral gap,
 //!   Ramanujan check, Cheeger expansion bounds (§IX context).
-//! * [`failures`] — random link-failure trials (Fig. 14).
+//! * [`failures`] — random link-failure trials (Fig. 14) and the seeded
+//!   [`FailureSet`] sampler behind live fault injection in the simulator.
 
 pub mod bfs;
 pub mod csr;
@@ -29,3 +30,4 @@ pub mod triangles;
 
 pub use bfs::DistanceMatrix;
 pub use csr::{Csr, GraphBuilder};
+pub use failures::FailureSet;

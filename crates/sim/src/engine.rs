@@ -37,6 +37,8 @@ macro_rules! net_view {
             tables: $e.tables,
             graph: $e.graph,
             geom: &$e.geom,
+            link_up: &$e.link_up,
+            degraded: $e.degraded,
             credits: &$e.credits,
             inj_wait: &$e.inj_wait,
             vcs: $e.vcs,
@@ -70,6 +72,13 @@ pub struct Engine<'a> {
     /// Endpoints per router (cached: the hot loops hit this every cycle).
     pub(crate) endpoints: Vec<u32>,
     pub(crate) geom: PortMap,
+    /// Per-link liveness (indexed by downstream input port): `false` marks
+    /// a failed link that routing must never select. All-true on healthy
+    /// topologies; derived from [`pf_topo::Topology::link_failures`].
+    pub(crate) link_up: Vec<bool>,
+    /// Whether any link is failed (gates the mask loads off the healthy
+    /// hot paths).
+    pub(crate) degraded: bool,
 
     /// All (port, VC) input buffers as flat SoA ring buffers.
     pub(crate) bufs: FlitRings,
@@ -173,6 +182,42 @@ impl<'a> Engine<'a> {
         let num_ports = geom.num_ports();
         let queues = num_ports * vcs;
 
+        // Per-port link masks from the topology's failure set. Both
+        // directions of a failed (undirected) link go down together.
+        let mut link_up = vec![true; num_ports];
+        let mut degraded = false;
+        if let Some(failures) = topo.link_failures() {
+            for &(u, v) in failures.edges() {
+                let iu = g
+                    .neighbors(u)
+                    .binary_search(&v)
+                    .expect("failed link must be a graph edge");
+                link_up[geom.downstream(u, iu) as usize] = false;
+                let iv = g
+                    .neighbors(v)
+                    .binary_search(&u)
+                    .expect("failed link must be a graph edge");
+                link_up[geom.downstream(v, iv) as usize] = false;
+                degraded = true;
+            }
+        }
+        if degraded {
+            // Residual minimal paths exceed the healthy diameter and
+            // detours compose two of them; without a VC class per hop the
+            // hop-indexed deadlock-freedom argument silently breaks (the
+            // allocator clamps to the last class). Fail loudly instead.
+            let diameter = tables.max_finite_dist();
+            let need = algo.max_hops(diameter);
+            assert!(
+                u32::from(cfg.vc_classes) >= need,
+                "degraded run under {} needs vc_classes >= {need} \
+                 (worst-case hops at residual diameter {diameter}) but got {}; \
+                 raise SimConfig::vc_classes",
+                algo.label(),
+                cfg.vc_classes
+            );
+        }
+
         let endpoints: Vec<u32> = (0..n as u32).map(|r| topo.endpoints(r) as u32).collect();
         // Up to 2p concurrent streams share p flits/cycle of aggregate
         // endpoint bandwidth: each stream is rate-limited to 1 flit/cycle
@@ -197,6 +242,8 @@ impl<'a> Engine<'a> {
             cap_per_vc,
             endpoints,
             geom,
+            link_up,
+            degraded,
             bufs: FlitRings::new(queues, cap_per_vc),
             credits: vec![cap_per_vc; queues],
             route_port: vec![NONE32; queues],

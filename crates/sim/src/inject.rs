@@ -3,7 +3,7 @@
 //!
 //! Each router carries `p` endpoints modelled as aggregate channel
 //! bandwidth — `p` flits/cycle of injection and ejection. Generated
-//! packets queue per source router ([`crate::router::SourceQueues`]); a
+//! packets queue per source router ([`crate::queues::SourceQueues`]); a
 //! packet leaves the queue when it wins a class-0 output VC on its first
 //! hop, becoming an injection *stream* that feeds one flit per cycle into
 //! the switch allocator.

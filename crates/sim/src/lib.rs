@@ -20,6 +20,12 @@
 //! * **Warmup / measurement / drain** phases; packet latency is
 //!   generation-to-tail-ejection, throughput is accepted flits per endpoint
 //!   cycle in the measurement window.
+//! * **Degraded operation**: topologies advertising failed links
+//!   (`pf_topo::DegradedTopo`) get residual-graph route tables
+//!   ([`RouteTables::build_for`]), per-port link masks in the engine, and
+//!   a mask-validated algebraic fast path, so every routing algorithm
+//!   routes around fail-stop links (see the fault-model section of
+//!   DESIGN.md).
 //!
 //! ## Module map
 //!

@@ -10,12 +10,12 @@
 //!   arrays (`pkt`/`seq`/`ready`), fixed capacity per queue (the credit
 //!   loop already bounds occupancy to the capacity, so no growth path is
 //!   needed).
-//! * [`SourceQueues`] — per-router pending-packet queues as growable
+//! * [`crate::queues::SourceQueues`] — per-router pending-packet queues as growable
 //!   power-of-two rings with O(window) front compaction (the injection
 //!   window removes packets from the first few slots only).
 //! * [`InjPool`] — active injection streams in SoA arrays partitioned by
 //!   router (capacity `2·endpoints(r)`, the engine's stream cap).
-//! * [`PacketPool`] — in-flight packet records in SoA arrays with a free
+//! * [`crate::packet::PacketPool`] — in-flight packet records in SoA arrays with a free
 //!   list.
 //! * [`PortMap`] — the port geometry: prefix-summed input-port ids and the
 //!   `out_link` map from a local output to the downstream input port.

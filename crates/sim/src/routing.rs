@@ -29,12 +29,19 @@ pub type Port = u32;
 
 /// Read-only network view handed to routing decisions.
 pub struct NetState<'e> {
-    /// Distance + minimal next-hop tables.
+    /// Distance + minimal next-hop tables (built on the residual graph
+    /// when links have failed — see [`RouteTables::build_for`]).
     pub tables: &'e RouteTables,
-    /// The router graph.
+    /// The *physical* router graph (failed links keep their ports).
     pub graph: &'e Csr,
     /// Port geometry.
     pub geom: &'e PortMap,
+    /// Per-link liveness, indexed by downstream input port: `false` marks
+    /// a failed link no routing decision may select.
+    pub link_up: &'e [bool],
+    /// Whether any link is failed — `false` keeps the healthy hot paths
+    /// free of mask loads.
+    pub degraded: bool,
     /// Free slots per (input-buffer, VC) queue — the sender's credit view.
     pub credits: &'e [u32],
     /// Source-queue backlog charged per minimal first-hop link (packets).
@@ -91,6 +98,44 @@ impl NetState<'_> {
         }
         occ + self.inj_wait[link] * u32::from(self.packet_flits)
     }
+
+    /// Whether the physical link from `r` to its neighbor-index `i` is up.
+    #[inline]
+    pub fn link_ok(&self, r: u32, i: usize) -> bool {
+        !self.degraded || self.link_up[self.geom.downstream(r, i) as usize]
+    }
+
+    /// Whether the physical link `r → next` is up (`next` must be a
+    /// full-graph neighbor of `r`).
+    #[inline]
+    pub fn edge_ok(&self, r: u32, next: u32) -> bool {
+        if !self.degraded {
+            return true;
+        }
+        self.link_up[self.geom.downstream(r, self.neighbor_index(r, next)) as usize]
+    }
+
+    /// A uniformly random *live* neighbor of `r` (reservoir sampling over
+    /// unmasked links), or `None` if every incident link is down — which a
+    /// connected residual graph rules out.
+    pub fn random_live_neighbor(&self, r: u32, rng: &mut StdRng) -> Option<u32> {
+        let nbrs = self.graph.neighbors(r);
+        if !self.degraded {
+            return Some(nbrs[rng.gen_range(0..nbrs.len())]);
+        }
+        let mut chosen = None;
+        let mut seen = 0u32;
+        for (i, &w) in nbrs.iter().enumerate() {
+            if !self.link_ok(r, i) {
+                continue;
+            }
+            seen += 1;
+            if rng.gen_range(0..seen) == 0 {
+                chosen = Some(w);
+            }
+        }
+        chosen
+    }
 }
 
 /// Where minimal next-hops come from.
@@ -101,23 +146,46 @@ pub enum MinHop<'t> {
     /// PolarFly's algebraic O(1) next hop: adjacency check + cross
     /// product, no table access on the hot path.
     Algebraic(&'t PolarFly),
+    /// The algebraic fast path over a degraded PolarFly: the computed hop
+    /// is validated against the per-port link mask, and any failed hop on
+    /// the algebraic path falls back to the residual-graph table — so the
+    /// result is always residual-minimal.
+    AlgebraicMasked(&'t PolarFly),
 }
 
 impl MinHop<'_> {
-    /// Minimal next hop from `s` toward `d` (`s ≠ d`).
+    /// Minimal next hop from `s` toward `d` (`s ≠ d`). On degraded
+    /// topologies this is minimal *on the residual graph*.
     #[inline]
     pub fn next(&self, net: &NetState, s: u32, d: u32) -> u32 {
         match self {
             MinHop::Table => net.tables.next_hop(s, d),
             MinHop::Algebraic(pf) => polarfly::routing::next_hop_minimal(pf, s, d),
+            MinHop::AlgebraicMasked(pf) => {
+                // ER_q minimal paths are unique, so a single failed hop on
+                // the algebraic path forces the table detour.
+                if pf.graph().has_edge(s, d) {
+                    if net.edge_ok(s, d) {
+                        return d;
+                    }
+                    return net.tables.next_hop(s, d);
+                }
+                match pf.intermediate(s, d) {
+                    Some(m) if net.edge_ok(s, m) && net.edge_ok(m, d) => m,
+                    _ => net.tables.next_hop(s, d),
+                }
+            }
         }
     }
 
     /// The minimal-hop source `topo` supports — the single decision point
     /// shared by the engine's bookkeeping and `Routing::algorithm`, so the
-    /// two can never disagree on the fast path.
+    /// two can never disagree on the fast path. Topologies advertising
+    /// failed links get the mask-validated algebraic variant.
     pub fn for_topology(topo: &dyn pf_topo::Topology) -> MinHop<'_> {
+        let degraded = topo.link_failures().is_some_and(|f| !f.is_empty());
         match topo.routing_hint() {
+            pf_topo::RoutingHint::PolarFly(pf) if degraded => MinHop::AlgebraicMasked(pf),
             pf_topo::RoutingHint::PolarFly(pf) => MinHop::Algebraic(pf),
             pf_topo::RoutingHint::Generic => MinHop::Table,
         }
@@ -156,6 +224,14 @@ pub trait RoutingAlgorithm: Send + Sync {
 
     /// Decides minimal vs. detour for a packet about to be injected.
     fn plan(&self, net: &NetState, src: u32, dst: u32, rng: &mut StdRng) -> RoutePlan;
+
+    /// Worst-case path length (hops) this algorithm can produce on a
+    /// graph of the given `diameter` — the number of hop-indexed VC
+    /// classes deadlock freedom requires. Default: a full Valiant detour
+    /// through an arbitrary intermediate (two minimal legs).
+    fn max_hops(&self, diameter: u32) -> u32 {
+        2 * diameter
+    }
 }
 
 #[inline]
@@ -197,6 +273,10 @@ impl RoutingAlgorithm for Min<'_> {
     fn plan(&self, _net: &NetState, _src: u32, _dst: u32, _rng: &mut StdRng) -> RoutePlan {
         RoutePlan::Minimal
     }
+
+    fn max_hops(&self, diameter: u32) -> u32 {
+        diameter
+    }
 }
 
 /// Adaptive minimal: among the minimal next hops, take the output with the
@@ -211,14 +291,16 @@ impl RoutingAlgorithm for MinAdaptive {
 
     /// Ties are broken uniformly at random — deterministic tie-breaking
     /// makes every source herd onto the same equal-cost port in the same
-    /// cycle, which measurably collapses folded-Clos throughput.
+    /// cycle, which measurably collapses folded-Clos throughput. Failed
+    /// links are masked out of the candidate set; the residual-graph
+    /// distance tables guarantee a live minimal hop always remains.
     fn next_output(&self, net: &NetState, hop: HopContext, rng: &mut StdRng) -> Port {
         let want = net.tables.dist(hop.router, hop.target) - 1;
         let mut best = Port::MAX;
         let mut best_occ = u32::MAX;
         let mut ties = 0u32;
         for (i, &w) in net.graph.neighbors(hop.router).iter().enumerate() {
-            if net.tables.dist(w, hop.target) != want {
+            if !net.link_ok(hop.router, i) || net.tables.dist(w, hop.target) != want {
                 continue;
             }
             let occ = net.link_occupancy(hop.router, i);
@@ -240,6 +322,10 @@ impl RoutingAlgorithm for MinAdaptive {
 
     fn plan(&self, _net: &NetState, _src: u32, _dst: u32, _rng: &mut StdRng) -> RoutePlan {
         RoutePlan::Minimal
+    }
+
+    fn max_hops(&self, diameter: u32) -> u32 {
+        diameter
     }
 }
 
@@ -296,9 +382,16 @@ impl RoutingAlgorithm for CompactValiant<'_> {
         if net.tables.dist(src, dst) <= 1 {
             RoutePlan::Minimal
         } else {
-            let nbrs = net.graph.neighbors(src);
-            RoutePlan::Detour(nbrs[rng.gen_range(0..nbrs.len())])
+            match net.random_live_neighbor(src, rng) {
+                Some(m) => RoutePlan::Detour(m),
+                None => RoutePlan::Minimal,
+            }
         }
+    }
+
+    /// One hop to the neighbor intermediate, then a minimal leg.
+    fn max_hops(&self, diameter: u32) -> u32 {
+        diameter + 1
     }
 }
 
@@ -376,8 +469,10 @@ impl RoutingAlgorithm for UgalPf<'_> {
             // 4-hop detours, as Fig. 9b describes.
             RoutePlan::Detour(random_mid(net.graph.vertex_count() as u32, src, dst, rng))
         } else {
-            let nbrs = net.graph.neighbors(src);
-            RoutePlan::Detour(nbrs[rng.gen_range(0..nbrs.len())])
+            match net.random_live_neighbor(src, rng) {
+                Some(m) => RoutePlan::Detour(m),
+                None => RoutePlan::Minimal,
+            }
         }
     }
 }

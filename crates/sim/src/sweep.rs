@@ -1,15 +1,34 @@
 //! Offered-load sweeps and saturation estimation — the workhorses behind
-//! the latency-vs-load figures (Figs. 8–11). Tables and traffic patterns
-//! are resolved once per (topology, pattern) and shared across the
-//! Rayon-parallel per-load runs.
+//! the latency-vs-load figures (Figs. 8–11) and the resilience sweeps.
+//! Tables and traffic patterns are resolved once per (topology, pattern)
+//! and shared across the Rayon-parallel per-load runs. Topologies with
+//! failed links ([`pf_topo::DegradedTopo`]) get residual-graph tables and
+//! traffic resolution automatically.
 
 use crate::engine::{simulate, SimConfig};
 use crate::stats::SimResult;
 use crate::tables::RouteTables;
 use crate::traffic::{resolve, TrafficPattern};
 use crate::Routing;
+use pf_graph::Csr;
 use pf_topo::Topology;
 use rayon::prelude::*;
+
+/// Tables + destination map for one (topology, pattern, seed) triple,
+/// built on the residual graph when the topology advertises failures (so
+/// hop-exact permutation patterns respect surviving distances too). The
+/// residual-or-full decision lives in [`crate::tables::routing_graph`].
+fn resolve_run(
+    topo: &dyn Topology,
+    pattern: TrafficPattern,
+    seed: u64,
+) -> (RouteTables, crate::traffic::DestMap) {
+    let residual: Option<Csr> = crate::tables::routing_graph(topo);
+    let g = residual.as_ref().unwrap_or_else(|| topo.graph());
+    let tables = RouteTables::build(g, seed);
+    let dests = resolve(pattern, g, &topo.host_routers(), seed);
+    (tables, dests)
+}
 
 /// One latency-vs-load curve.
 #[derive(Debug, Clone)]
@@ -70,8 +89,7 @@ pub fn load_curve(
     loads: &[f64],
     cfg: &SimConfig,
 ) -> LoadCurve {
-    let tables = RouteTables::build(topo.graph(), cfg.seed);
-    let dests = resolve(pattern, topo.graph(), &topo.host_routers(), cfg.seed);
+    let (tables, dests) = resolve_run(topo, pattern, cfg.seed);
     let points: Vec<SimResult> = loads
         .par_iter()
         .map(|&load| simulate(topo, &tables, &dests, routing, load, cfg.clone()))
@@ -99,8 +117,7 @@ pub fn saturation(
     pattern: TrafficPattern,
     cfg: &SimConfig,
 ) -> f64 {
-    let tables = RouteTables::build(topo.graph(), cfg.seed);
-    let dests = resolve(pattern, topo.graph(), &topo.host_routers(), cfg.seed);
+    let (tables, dests) = resolve_run(topo, pattern, cfg.seed);
     simulate(topo, &tables, &dests, routing, 1.0, cfg.clone()).accepted_load
 }
 

@@ -2,11 +2,28 @@
 //! next-hop table with seeded random tie-breaking (as BookSim's table-based
 //! routing does, avoiding the systematic hotspots a lowest-id tie-break
 //! would create on topologies with equal-cost path multiplicity).
+//!
+//! Fault awareness: [`RouteTables::build_for`] consults
+//! [`pf_topo::Topology::link_failures`] and builds the tables on the
+//! *residual* graph, so every table next hop (and every UGAL distance
+//! term) already routes around the failed links.
 
 use pf_graph::{bfs, Csr};
+use pf_topo::Topology;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
+
+/// The graph routing for `topo` must be computed on: `Some(residual)`
+/// when the topology advertises failed links, `None` (use the full graph)
+/// otherwise. The single decision point behind [`RouteTables::build_for`]
+/// and the sweep's traffic resolution — fault-aware policy changes land
+/// here once.
+pub fn routing_graph(topo: &dyn Topology) -> Option<Csr> {
+    topo.link_failures()
+        .filter(|f| !f.is_empty())
+        .map(|f| f.residual(topo.graph()))
+}
 
 /// Dense distance + next-hop tables for one topology.
 pub struct RouteTables {
@@ -66,6 +83,17 @@ impl RouteTables {
         RouteTables { n, dist, next }
     }
 
+    /// Builds the tables a `topo` run needs: on the full graph for healthy
+    /// topologies, on the residual graph when the topology advertises
+    /// failed links ([`pf_topo::DegradedTopo`]) — same router ids either
+    /// way, so the engine's geometry is unaffected.
+    pub fn build_for(topo: &dyn Topology, seed: u64) -> RouteTables {
+        match routing_graph(topo) {
+            Some(residual) => RouteTables::build(&residual, seed),
+            None => RouteTables::build(topo.graph(), seed),
+        }
+    }
+
     /// Number of routers.
     #[inline]
     pub fn router_count(&self) -> usize {
@@ -76,6 +104,17 @@ impl RouteTables {
     #[inline]
     pub fn dist(&self, s: u32, d: u32) -> u32 {
         u32::from(self.dist[s as usize * self.n + d as usize])
+    }
+
+    /// Largest finite table distance — the diameter of the (residual)
+    /// graph the tables were built on, when it is connected.
+    pub fn max_finite_dist(&self) -> u32 {
+        self.dist
+            .iter()
+            .copied()
+            .filter(|&d| d != bfs::UNREACHABLE)
+            .max()
+            .map_or(0, u32::from)
     }
 
     /// The table's minimal next hop from `s` toward `d` (`s` if `s == d`).

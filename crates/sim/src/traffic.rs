@@ -30,11 +30,15 @@ pub enum TrafficPattern {
     /// graphs).
     BitComplement,
     /// Transpose: writing the host index as `(row, col)` of the nearest
-    /// square, host `(r, c)` sends to `(c, r)` (fixed points send to the
-    /// bit-complement instead to keep the map a permutation of senders).
+    /// square, host `(r, c)` sends to `(c, r)`. Leftover fixed points —
+    /// the square's diagonal and the tail beyond it — are completed into
+    /// the permutation collision-free (paired among themselves by
+    /// rotation; see `complete_permutation` in this module).
     Transpose,
-    /// Perfect shuffle: host `i` sends to `(2i) mod (H − 1)` (`H − 1`
-    /// maps to itself and falls back to bit-complement).
+    /// Perfect shuffle: host `i` sends to `(2i) mod (H − 1)`. For odd `H`
+    /// the doubling map is 2-to-1 (gcd(2, H−1) = 2), so colliding senders
+    /// and the leftover targets are completed collision-free the same way
+    /// as [`TrafficPattern::Transpose`].
     Shuffle,
 }
 
@@ -73,31 +77,114 @@ impl DestMap {
     #[inline]
     pub fn pick<R: Rng>(&self, src: u32, rng: &mut R) -> u32 {
         match self {
-            DestMap::Uniform { hosts } => loop {
-                let d = hosts[rng.gen_range(0..hosts.len())];
-                if d != src {
-                    return d;
+            DestMap::Uniform { hosts } => {
+                // `resolve` guarantees ≥ 2 hosts, so the rejection loop
+                // terminates (it would spin forever on `hosts == [src]`).
+                debug_assert!(hosts.len() >= 2);
+                loop {
+                    let d = hosts[rng.gen_range(0..hosts.len())];
+                    if d != src {
+                        return d;
+                    }
                 }
-            },
+            }
             DestMap::Fixed { dest } => dest[src as usize],
         }
     }
 }
 
+/// Sentinel marking an unassigned sender in a partial permutation.
+const UNASSIGNED: usize = usize::MAX;
+
+/// Completes a partial permutation over `0..h` (`UNASSIGNED` marks
+/// senders without a target; assigned targets must be distinct) into a
+/// self-send-free bijection, deterministically:
+///
+/// * the unused targets are distributed over the unassigned senders by
+///   the first rotation offset that creates no fixed point — when the
+///   leftovers are exactly the fixed points of the tentative map (as in
+///   `Transpose`), this pairs them among themselves by rotation;
+/// * a single leftover that is its own unused target (forced self-send)
+///   is repaired by a 3-cycle through an assigned pair.
+///
+/// Panics only for `h < 2` with a forced self-send, which no caller can
+/// reach (`resolve` rejects single-host patterns).
+fn complete_permutation(perm: &mut [usize]) {
+    let h = perm.len();
+    let mut used = vec![false; h];
+    for &p in perm.iter() {
+        if p != UNASSIGNED {
+            debug_assert!(!used[p], "partial permutation has a collision");
+            used[p] = true;
+        }
+    }
+    let senders: Vec<usize> = (0..h).filter(|&i| perm[i] == UNASSIGNED).collect();
+    let targets: Vec<usize> = (0..h).filter(|&j| !used[j]).collect();
+    debug_assert_eq!(senders.len(), targets.len());
+    let k = senders.len();
+    match k {
+        0 => {}
+        1 if senders[0] != targets[0] => perm[senders[0]] = targets[0],
+        1 => {
+            // Forced self-send: splice the leftover into an assigned pair
+            // a → b, making the 3-cycle s → b, a → s. Every assigned
+            // target differs from s (s's own slot is the only unused one),
+            // so no new self-send can appear.
+            let s = senders[0];
+            let a = (0..h)
+                .find(|&a| a != s && perm[a] != UNASSIGNED)
+                .expect("h >= 2 leaves an assigned sender to splice into");
+            perm[s] = perm[a];
+            perm[a] = s;
+        }
+        _ => {
+            // A fixed-point-free rotation offset always exists for k ≥ 2:
+            // each sender present among the targets forbids exactly one
+            // offset, and either some sender is absent (≤ k−1 forbidden)
+            // or senders == targets (only offset 0 forbidden).
+            let r = (0..k)
+                .find(|&r| (0..k).all(|j| targets[(j + r) % k] != senders[j]))
+                .expect("a fixed-point-free rotation exists for k >= 2");
+            for (j, &s) in senders.iter().enumerate() {
+                perm[s] = targets[(j + r) % k];
+            }
+        }
+    }
+}
+
+/// Materializes a host-index permutation as a router-indexed [`DestMap`].
+fn fixed_map(n: usize, hosts: &[u32], perm: &[usize]) -> DestMap {
+    let mut dest = vec![u32::MAX; n];
+    for (i, &r) in hosts.iter().enumerate() {
+        dest[r as usize] = hosts[perm[i]];
+    }
+    DestMap::Fixed { dest }
+}
+
 /// Resolves a pattern against a topology graph and its host list.
+///
+/// Every pattern needs at least two hosts (asserted here): a single-host
+/// network has no self-send-free destination, and the Uniform rejection
+/// sampler would spin forever on `hosts == [src]`.
 ///
 /// Permutation patterns are seeded; `Perm1Hop`/`Perm2Hop` require a
 /// perfect matching in the "exactly h hops" bipartite graph and panic if
 /// the topology cannot realize one (the paper only uses them on PolarFly).
 pub fn resolve(pattern: TrafficPattern, g: &Csr, hosts: &[u32], seed: u64) -> DestMap {
     let n = g.vertex_count();
+    assert!(
+        hosts.len() >= 2,
+        "traffic pattern {:?} needs at least two hosts (got {}): \
+         every packet would have to self-send",
+        pattern,
+        hosts.len()
+    );
     match pattern {
         TrafficPattern::Uniform => DestMap::Uniform {
             hosts: hosts.to_vec(),
         },
         TrafficPattern::Tornado => {
             let h = hosts.len();
-            assert!(h >= 2, "tornado needs at least two hosts");
             let mut dest = vec![u32::MAX; n];
             for (i, &r) in hosts.iter().enumerate() {
                 dest[r as usize] = hosts[(i + h / 2) % h];
@@ -122,45 +209,54 @@ pub fn resolve(pattern: TrafficPattern, g: &Csr, hosts: &[u32], seed: u64) -> De
             DestMap::Fixed { dest }
         }
         TrafficPattern::BitComplement => {
+            // `i → h-1-i` is an involution with one fixed point for odd H;
+            // the old `(i + h/2) % h` fallback for it collided with host
+            // 0's image, so the fixed point is completed collision-free
+            // instead (a 3-cycle through an assigned pair).
             let h = hosts.len();
-            let mut dest = vec![u32::MAX; n];
-            for (i, &r) in hosts.iter().enumerate() {
-                let j = h - 1 - i;
-                dest[r as usize] = if j == i {
-                    hosts[(i + h / 2) % h]
-                } else {
-                    hosts[j]
-                };
+            let mut perm = vec![UNASSIGNED; h];
+            for (i, p) in perm.iter_mut().enumerate() {
+                if h - 1 - i != i {
+                    *p = h - 1 - i;
+                }
             }
-            DestMap::Fixed { dest }
+            complete_permutation(&mut perm);
+            fixed_map(n, hosts, &perm)
         }
         TrafficPattern::Transpose => {
+            // The in-square transpose is an involution whose fixed points
+            // are the diagonal; together with the tail beyond the square
+            // they are completed collision-free (the old `h-1-i` fallback
+            // chain collided with transposed images for non-square H).
             let h = hosts.len();
             let side = (h as f64).sqrt().floor() as usize;
-            let mut dest = vec![u32::MAX; n];
-            for (i, &r) in hosts.iter().enumerate() {
-                let j = if i < side * side {
-                    let (row, col) = (i / side, i % side);
-                    col * side + row
-                } else {
-                    i
-                };
-                let j = if j == i { h - 1 - i } else { j };
-                let j = if j == i { (i + h / 2) % h } else { j };
-                dest[r as usize] = hosts[j];
+            let mut perm = vec![UNASSIGNED; h];
+            for (i, p) in perm.iter_mut().enumerate().take(side * side) {
+                let (row, col) = (i / side, i % side);
+                let j = col * side + row;
+                if j != i {
+                    *p = j;
+                }
             }
-            DestMap::Fixed { dest }
+            complete_permutation(&mut perm);
+            fixed_map(n, hosts, &perm)
         }
         TrafficPattern::Shuffle => {
+            // First-come tentative doubling: a sender whose image is taken
+            // (odd H makes the map 2-to-1) or is itself joins the
+            // completion pool with the unused targets.
             let h = hosts.len();
-            let mut dest = vec![u32::MAX; n];
-            for (i, &r) in hosts.iter().enumerate() {
-                let j = if i == h - 1 { i } else { (2 * i) % (h - 1) };
-                let j = if j == i { h - 1 - i } else { j };
-                let j = if j == i { (i + h / 2) % h } else { j };
-                dest[r as usize] = hosts[j];
+            let mut perm = vec![UNASSIGNED; h];
+            let mut used = vec![false; h];
+            for (i, p) in perm.iter_mut().enumerate().take(h - 1) {
+                let j = (2 * i) % (h - 1);
+                if j != i && !used[j] {
+                    *p = j;
+                    used[j] = true;
+                }
             }
-            DestMap::Fixed { dest }
+            complete_permutation(&mut perm);
+            fixed_map(n, hosts, &perm)
         }
         TrafficPattern::Perm1Hop | TrafficPattern::Perm2Hop => {
             let want = if pattern == TrafficPattern::Perm1Hop {
@@ -301,5 +397,79 @@ mod tests {
             let d = dm.pick(2, &mut rng);
             assert_ne!(d, 2);
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two hosts")]
+    fn single_host_patterns_are_rejected_at_resolve_time() {
+        // Previously `DestMap::pick` would spin forever on hosts == [src].
+        let g = ring(4);
+        resolve(TrafficPattern::Uniform, &g, &[2], 0);
+    }
+
+    /// Asserts `dm` is a self-send-free bijection over `hosts`.
+    fn assert_derangement(dm: &DestMap, hosts: &[u32], label: &str) {
+        let DestMap::Fixed { dest } = dm else {
+            panic!("{label}: expected a fixed map");
+        };
+        let mut seen = std::collections::HashSet::new();
+        for &r in hosts {
+            let d = dest[r as usize];
+            assert_ne!(d, u32::MAX, "{label}: host {r} unassigned");
+            assert_ne!(d, r, "{label}: self-send at {r}");
+            assert!(hosts.contains(&d), "{label}: {r} -> non-host {d}");
+            assert!(seen.insert(d), "{label}: collision at destination {d}");
+        }
+    }
+
+    #[test]
+    fn transpose_is_bijective_for_nonsquare_host_counts() {
+        // The old diagonal fallback `h-1-i` collided with transposed
+        // images (e.g. H=6: fixed point 3 -> 2, but 1 -> 2 already).
+        for h in [6, 7, 8, 9, 10, 12, 15] {
+            let g = ring(h);
+            let dm = resolve(TrafficPattern::Transpose, &g, &hosts(h), 0);
+            assert_derangement(&dm, &hosts(h), &format!("transpose H={h}"));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_bijective_for_odd_host_counts() {
+        // For odd H the doubling map is 2-to-1 (gcd(2, H-1) = 2): e.g.
+        // H=7 sent both 0 and 3 to 0 before the collision-free completion.
+        for h in [5, 7, 9, 11, 13, 16, 21] {
+            let g = ring(h);
+            let dm = resolve(TrafficPattern::Shuffle, &g, &hosts(h), 0);
+            assert_derangement(&dm, &hosts(h), &format!("shuffle H={h}"));
+        }
+    }
+
+    #[test]
+    fn shuffle_even_h_still_doubles() {
+        // The doubling map is untouched where it was already injective.
+        let g = ring(8);
+        let dm = resolve(TrafficPattern::Shuffle, &g, &hosts(8), 0);
+        let mut rng = StdRng::seed_from_u64(0);
+        for i in 1..7u32 {
+            assert_eq!(dm.pick(i, &mut rng), (2 * i) % 7);
+        }
+    }
+
+    #[test]
+    fn completion_repairs_a_forced_self_send_with_a_three_cycle() {
+        // Senders {2}, targets {2}: the single leftover is its own unused
+        // target and must be spliced into an assigned pair.
+        let mut perm = vec![1, 0, UNASSIGNED];
+        complete_permutation(&mut perm);
+        assert_eq!(perm, vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn completion_pairs_fixed_points_by_rotation() {
+        // Senders == targets (all fixed points of a partial identity):
+        // rotation offset 1 pairs them among themselves.
+        let mut perm = vec![UNASSIGNED, 3, UNASSIGNED, 1, UNASSIGNED];
+        complete_permutation(&mut perm);
+        assert_eq!(perm, vec![2, 3, 4, 1, 0]);
     }
 }

@@ -18,7 +18,10 @@
 //!   Moore-bound-achieving graphs (Fig. 2 reference points).
 //! * [`traits`] — the [`Topology`] abstraction consumed by the simulator,
 //!   plus the qualitative Table I feasibility matrix.
+//! * [`degraded`] — [`DegradedTopo`], the failed-link mask wrapper behind
+//!   the simulator's degraded-operation scenarios.
 
+pub mod degraded;
 pub mod dragonfly;
 pub mod fattree;
 pub mod hyperx;
@@ -29,6 +32,7 @@ pub mod oft;
 pub mod slimfly;
 pub mod traits;
 
+pub use degraded::DegradedTopo;
 pub use dragonfly::Dragonfly;
 pub use fattree::FatTree;
 pub use hyperx::HyperX;

@@ -1,7 +1,7 @@
 //! The [`Topology`] abstraction consumed by the simulator and structural
 //! analyses, plus the qualitative feasibility matrix of Table I.
 
-use pf_graph::Csr;
+use pf_graph::{Csr, FailureSet};
 use polarfly::PolarFly;
 
 /// What a topology can tell routing layers about its structure, beyond
@@ -57,6 +57,13 @@ pub trait Topology: Send + Sync {
     /// Structural routing hint (default: nothing to exploit).
     fn routing_hint(&self) -> RoutingHint<'_> {
         RoutingHint::Generic
+    }
+
+    /// Failed links to mask out of routing (default: none — a healthy
+    /// network). [`crate::DegradedTopo`] overrides this; the simulator
+    /// consumes it to build residual route tables and per-port link masks.
+    fn link_failures(&self) -> Option<&FailureSet> {
+        None
     }
 }
 

@@ -21,6 +21,7 @@ use rand::SeedableRng;
 struct ParityHarness {
     tables: RouteTables,
     geom: PortMap,
+    link_up: Vec<bool>,
     credits: Vec<u32>,
     inj_wait: Vec<u32>,
     cfg: SimConfig,
@@ -33,6 +34,7 @@ impl ParityHarness {
         let ports = geom.num_ports();
         ParityHarness {
             tables: RouteTables::build(topo.graph(), seed),
+            link_up: vec![true; ports],
             credits: vec![cfg.cap_per_vc(); ports * cfg.vcs()],
             inj_wait: vec![0; ports],
             geom,
@@ -45,6 +47,8 @@ impl ParityHarness {
             tables: &self.tables,
             graph: topo.graph(),
             geom: &self.geom,
+            link_up: &self.link_up,
+            degraded: false,
             credits: &self.credits,
             inj_wait: &self.inj_wait,
             vcs: self.cfg.vcs(),

@@ -3,7 +3,7 @@
 //! Implements the subset this workspace uses — [`Strategy`] over numeric
 //! ranges, [`Just`], [`sample::select`], `prop_oneof!`, the `proptest!`
 //! test macro, `prop_assert!`/`prop_assert_eq!`, and
-//! [`ProptestConfig::with_cases`]. No shrinking: a failing case reports
+//! [`test_runner::Config::with_cases`]. No shrinking: a failing case reports
 //! its case index and seed so it can be replayed by rerunning the test
 //! (the runner is fully deterministic).
 
