@@ -1,5 +1,6 @@
-//! Random link-failure experiments (Fig. 14) and the [`FailureSet`]
-//! sampler behind live fault injection in the simulator.
+//! Random link-failure experiments (Fig. 14), the [`FailureSet`]
+//! sampler behind live fault injection, and the [`FaultSchedule`] of
+//! timestamped fail/repair windows behind *transient* (mid-run) faults.
 //!
 //! §IX-B of the paper: simulate random link failures until the network
 //! disconnects; over 100 trials report the *median* disconnection ratio,
@@ -12,12 +13,19 @@
 //! link masks) threads it through every layer so the *same* failed links
 //! are masked in route tables, algebraic next hops, and adaptive
 //! congestion decisions.
+//!
+//! [`FaultSchedule`] extends the fail-stop model along the time axis:
+//! each fault is a half-open `[fail, repair)` window on a link or a
+//! router (a router fault takes down every incident link for its
+//! duration). The simulator (`pf_topo::TransientTopo` + the engine's
+//! fault event queue) flips its per-port masks at the scheduled cycles
+//! and re-converges its route tables after each event.
 
 use crate::bfs::DistanceMatrix;
 use crate::csr::Csr;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 
 /// A set of failed (removed) links, stored as the canonical (`u < v`)
@@ -145,6 +153,297 @@ impl FailureSet {
     pub fn residual(&self, g: &Csr) -> Csr {
         g.without_edges(&self.removed)
     }
+}
+
+/// What a [`FaultEvent`] does to the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEventKind {
+    /// Link `{u, v}` (canonical `u < v`) goes down.
+    LinkDown(u32, u32),
+    /// Link `{u, v}` comes back up.
+    LinkUp(u32, u32),
+    /// Router `r` goes down (its incident links are covered by separate
+    /// [`FaultEventKind::LinkDown`] events in a resolved stream).
+    RouterDown(u32),
+    /// Router `r` comes back up.
+    RouterUp(u32),
+}
+
+/// One timestamped fault transition, as consumed by the simulator's
+/// event queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Cycle at which the transition takes effect.
+    pub cycle: u32,
+    /// The transition.
+    pub kind: FaultEventKind,
+}
+
+/// A seeded schedule of transient faults: fail/repair windows per link,
+/// plus router (vertex) failures as a second axis.
+///
+/// Every window is half-open: the element is down at cycle `fail` and up
+/// again at cycle `repair`. Overlapping or *touching* windows on the same
+/// element merge — a repair scheduled at the same cycle as the next
+/// failure yields one continuous down interval, which fixes the semantics
+/// of a simultaneous fail + repair: the element stays down, and the
+/// resolved event stream contains no zero-length blip.
+///
+/// # Examples
+///
+/// ```
+/// use pf_graph::{FaultSchedule, GraphBuilder};
+///
+/// let mut b = GraphBuilder::new(4);
+/// for i in 0..4u32 {
+///     b.add_edge(i, (i + 1) % 4);
+/// }
+/// let g = b.build();
+///
+/// // Link 0-1 down for [100, 300); touching windows merge.
+/// let s = FaultSchedule::new()
+///     .link_fault(1, 0, 100, 200)
+///     .link_fault(0, 1, 200, 300);
+/// assert!(s.active_at(&g, 100).contains(0, 1));
+/// assert!(s.active_at(&g, 200).contains(0, 1)); // merged across the seam
+/// assert!(!s.active_at(&g, 300).contains(0, 1)); // repair cycle is "up"
+/// assert_eq!(s.resolved_events(&g).len(), 2); // one down + one up
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultSchedule {
+    /// `(u, v, fail, repair)` with canonical `u < v`.
+    link_windows: Vec<(u32, u32, u32, u32)>,
+    /// `(r, fail, repair)`.
+    router_windows: Vec<(u32, u32, u32)>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule (no transient faults).
+    pub fn new() -> FaultSchedule {
+        FaultSchedule::default()
+    }
+
+    /// Adds a link fault window: `{u, v}` is down for `[fail, repair)`.
+    /// Panics unless `fail < repair` — a repair scheduled at or before its
+    /// failure is a schedule bug, not a zero-length outage.
+    #[must_use]
+    pub fn link_fault(mut self, u: u32, v: u32, fail: u32, repair: u32) -> FaultSchedule {
+        assert!(
+            fail < repair,
+            "link {u}-{v}: repair cycle {repair} must come after fail cycle {fail}"
+        );
+        let (u, v) = if u < v { (u, v) } else { (v, u) };
+        self.link_windows.push((u, v, fail, repair));
+        self
+    }
+
+    /// Adds a router fault window: `r` (and every link incident to it) is
+    /// down for `[fail, repair)`. Panics unless `fail < repair`.
+    #[must_use]
+    pub fn router_fault(mut self, r: u32, fail: u32, repair: u32) -> FaultSchedule {
+        assert!(
+            fail < repair,
+            "router {r}: repair cycle {repair} must come after fail cycle {fail}"
+        );
+        self.router_windows.push((r, fail, repair));
+        self
+    }
+
+    /// Whether the schedule contains no fault windows.
+    pub fn is_empty(&self) -> bool {
+        self.link_windows.is_empty() && self.router_windows.is_empty()
+    }
+
+    /// Number of fault windows (link + router, before merging).
+    pub fn len(&self) -> usize {
+        self.link_windows.len() + self.router_windows.len()
+    }
+
+    /// First cycle at which every scheduled fault has been repaired.
+    pub fn horizon(&self) -> u32 {
+        let l = self.link_windows.iter().map(|w| w.3).max().unwrap_or(0);
+        let r = self.router_windows.iter().map(|w| w.2).max().unwrap_or(0);
+        l.max(r)
+    }
+
+    /// Samples independent per-link Poisson failure processes: each link
+    /// of `g` fails with exponential inter-failure gaps of mean
+    /// `mtbf_cycles` and stays down for `repair_cycles`; failures are
+    /// drawn until `horizon`. Deterministic per `(seed, link)` — the
+    /// schedule does not depend on iteration order. The residual network
+    /// may disconnect under concurrent faults; use
+    /// [`FaultSchedule::sample_connected_links`] when the consumer (the
+    /// cycle simulator) requires every live router pair to stay routable.
+    pub fn sample_links(
+        g: &Csr,
+        mtbf_cycles: f64,
+        repair_cycles: u32,
+        horizon: u32,
+        seed: u64,
+    ) -> FaultSchedule {
+        assert!(mtbf_cycles > 0.0, "MTBF must be positive");
+        assert!(repair_cycles > 0, "repair time must be positive");
+        let mut s = FaultSchedule::new();
+        for (idx, &(u, v)) in g.edges().iter().enumerate() {
+            let mut rng =
+                StdRng::seed_from_u64(seed ^ (idx as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut t = 0.0f64;
+            loop {
+                let draw: f64 = rng.gen();
+                // Exponential gap, floored at one cycle so t always advances.
+                let gap = (-mtbf_cycles * (1.0 - draw).max(1e-12).ln()).max(1.0);
+                t += gap;
+                if t >= f64::from(horizon) {
+                    break;
+                }
+                let fail = t as u32;
+                let repair = fail.saturating_add(repair_cycles);
+                s = s.link_fault(u, v, fail, repair);
+                t = f64::from(repair);
+            }
+        }
+        s
+    }
+
+    /// Samples a *connectivity-safe* transient schedule: the failed links
+    /// are a [`FailureSet::sample_connected`] draw (simultaneously
+    /// removable without disconnecting `g`), each assigned a fail cycle
+    /// uniform in `[0, fail_window)` and a repair `repair_cycles` later.
+    /// Because even the union of all windows keeps the residual
+    /// connected, every intermediate fault state does too — the property
+    /// the cycle simulator requires.
+    pub fn sample_connected_links(
+        g: &Csr,
+        ratio: f64,
+        fail_window: u32,
+        repair_cycles: u32,
+        seed: u64,
+    ) -> FaultSchedule {
+        assert!(fail_window > 0, "fail window must be positive");
+        assert!(repair_cycles > 0, "repair time must be positive");
+        let links = FailureSet::sample_connected(g, ratio, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FF_EE00_5EED_5EED);
+        let mut s = FaultSchedule::new();
+        for &(u, v) in links.edges() {
+            let fail = rng.gen_range(0..fail_window);
+            s = s.link_fault(u, v, fail, fail.saturating_add(repair_cycles));
+        }
+        s
+    }
+
+    /// Routers down at `cycle`, ascending and deduplicated.
+    pub fn routers_down_at(&self, cycle: u32) -> Vec<u32> {
+        let mut down: Vec<u32> = self
+            .router_windows
+            .iter()
+            .filter(|&&(_, fail, repair)| fail <= cycle && cycle < repair)
+            .map(|&(r, _, _)| r)
+            .collect();
+        down.sort_unstable();
+        down.dedup();
+        down
+    }
+
+    /// The links down at `cycle` as a [`FailureSet`]: link windows
+    /// containing `cycle`, plus every link incident to a router that is
+    /// down at `cycle`. Panics if a scheduled link is not an edge of `g`.
+    pub fn active_at(&self, g: &Csr, cycle: u32) -> FailureSet {
+        let mut edges: Vec<(u32, u32)> = self
+            .link_windows
+            .iter()
+            .filter(|&&(_, _, fail, repair)| fail <= cycle && cycle < repair)
+            .map(|&(u, v, _, _)| {
+                assert!(g.has_edge(u, v), "scheduled link {u}-{v} is not an edge");
+                (u, v)
+            })
+            .collect();
+        for r in self.routers_down_at(cycle) {
+            for &w in g.neighbors(r) {
+                edges.push(if r < w { (r, w) } else { (w, r) });
+            }
+        }
+        FailureSet::from_edges(&edges)
+    }
+
+    /// Flattens the schedule into the event stream the simulator
+    /// consumes: per-link down intervals (link windows ∪ the windows of
+    /// both endpoint routers) and per-router intervals are merged so no
+    /// element ever goes down twice without coming up in between, then
+    /// emitted sorted by cycle with repairs *before* failures at the same
+    /// cycle. Panics if a scheduled link is not an edge of `g` or a
+    /// scheduled router is out of range.
+    pub fn resolved_events(&self, g: &Csr) -> Vec<FaultEvent> {
+        use std::collections::BTreeMap;
+        let mut per_link: BTreeMap<(u32, u32), Vec<(u32, u32)>> = BTreeMap::new();
+        for &(u, v, fail, repair) in &self.link_windows {
+            assert!(g.has_edge(u, v), "scheduled link {u}-{v} is not an edge");
+            per_link.entry((u, v)).or_default().push((fail, repair));
+        }
+        let mut per_router: BTreeMap<u32, Vec<(u32, u32)>> = BTreeMap::new();
+        for &(r, fail, repair) in &self.router_windows {
+            assert!(
+                (r as usize) < g.vertex_count(),
+                "scheduled router {r} is out of range"
+            );
+            per_router.entry(r).or_default().push((fail, repair));
+            for &w in g.neighbors(r) {
+                let e = if r < w { (r, w) } else { (w, r) };
+                per_link.entry(e).or_default().push((fail, repair));
+            }
+        }
+
+        let mut events = Vec::new();
+        for (&(u, v), windows) in per_link.iter_mut() {
+            for (fail, repair) in merge_windows(windows) {
+                events.push(FaultEvent {
+                    cycle: fail,
+                    kind: FaultEventKind::LinkDown(u, v),
+                });
+                events.push(FaultEvent {
+                    cycle: repair,
+                    kind: FaultEventKind::LinkUp(u, v),
+                });
+            }
+        }
+        for (&r, windows) in per_router.iter_mut() {
+            for (fail, repair) in merge_windows(windows) {
+                events.push(FaultEvent {
+                    cycle: fail,
+                    kind: FaultEventKind::RouterDown(r),
+                });
+                events.push(FaultEvent {
+                    cycle: repair,
+                    kind: FaultEventKind::RouterUp(r),
+                });
+            }
+        }
+        // Repairs first at a shared cycle: a resource handed from one
+        // fault window to another (already merged away for the same
+        // element) or between *different* elements never sees a spurious
+        // double-down state.
+        events.sort_by_key(|e| {
+            let is_down = matches!(
+                e.kind,
+                FaultEventKind::LinkDown(..) | FaultEventKind::RouterDown(_)
+            );
+            (e.cycle, is_down)
+        });
+        events
+    }
+}
+
+/// Merges half-open windows in place: overlapping or touching intervals
+/// coalesce into maximal down intervals, returned sorted by start.
+fn merge_windows(windows: &mut [(u32, u32)]) -> Vec<(u32, u32)> {
+    windows.sort_unstable();
+    let mut merged: Vec<(u32, u32)> = Vec::with_capacity(windows.len());
+    for &(fail, repair) in windows.iter() {
+        match merged.last_mut() {
+            Some(last) if fail <= last.1 => last.1 = last.1.max(repair),
+            _ => merged.push((fail, repair)),
+        }
+    }
+    merged
 }
 
 /// Connectivity of `g` restricted to edges whose flag is unset
@@ -412,5 +711,157 @@ mod tests {
         let f = FailureSet::from_edges(&[(3, 1), (1, 3), (2, 4)]);
         assert_eq!(f.len(), 2);
         assert_eq!(f.edges(), &[(1, 3), (2, 4)]);
+    }
+
+    // ---- FaultSchedule edge cases -------------------------------------
+
+    #[test]
+    #[should_panic(expected = "repair cycle 10 must come after fail cycle 10")]
+    fn schedule_rejects_repair_at_or_before_fail() {
+        let _ = FaultSchedule::new().link_fault(0, 1, 10, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "must come after fail cycle")]
+    fn schedule_rejects_router_repair_before_fail() {
+        let _ = FaultSchedule::new().router_fault(2, 50, 20);
+    }
+
+    #[test]
+    fn simultaneous_fail_and_repair_merge_into_one_outage() {
+        // Two windows on the same link share cycle 200 as repair/fail:
+        // the link must stay down across the seam, with no zero-length
+        // up blip in the event stream.
+        let g = ring_with_chords(8);
+        let s = FaultSchedule::new()
+            .link_fault(0, 1, 100, 200)
+            .link_fault(0, 1, 200, 300);
+        assert!(s.active_at(&g, 199).contains(0, 1));
+        assert!(s.active_at(&g, 200).contains(0, 1));
+        assert!(s.active_at(&g, 299).contains(0, 1));
+        assert!(!s.active_at(&g, 300).contains(0, 1));
+        let events = s.resolved_events(&g);
+        assert_eq!(
+            events,
+            vec![
+                FaultEvent {
+                    cycle: 100,
+                    kind: FaultEventKind::LinkDown(0, 1)
+                },
+                FaultEvent {
+                    cycle: 300,
+                    kind: FaultEventKind::LinkUp(0, 1)
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn repairs_sort_before_fails_at_a_shared_cycle() {
+        let g = ring_with_chords(8);
+        let s = FaultSchedule::new()
+            .link_fault(0, 1, 50, 150)
+            .link_fault(2, 3, 150, 250);
+        let at_150: Vec<FaultEvent> = s
+            .resolved_events(&g)
+            .into_iter()
+            .filter(|e| e.cycle == 150)
+            .collect();
+        assert_eq!(at_150[0].kind, FaultEventKind::LinkUp(0, 1));
+        assert_eq!(at_150[1].kind, FaultEventKind::LinkDown(2, 3));
+    }
+
+    #[test]
+    fn vertex_failure_isolates_an_endpoint() {
+        // Star graph: killing the hub's spoke-partner 0 takes down every
+        // link of vertex 0, and the residual at the fault peak must be
+        // disconnected (vertices 1..n survive with no edges between some).
+        let mut b = GraphBuilder::new(5);
+        for i in 1..5u32 {
+            b.add_edge(0, i);
+        }
+        let g = b.build();
+        let s = FaultSchedule::new().router_fault(0, 10, 90);
+        let active = s.active_at(&g, 10);
+        assert_eq!(active.len(), 4, "all incident links of router 0 down");
+        assert!(!active.residual(&g).is_connected());
+        assert_eq!(s.routers_down_at(10), vec![0]);
+        assert!(s.routers_down_at(90).is_empty());
+        assert!(s.active_at(&g, 90).is_empty());
+        // The resolved stream carries both the router transitions and the
+        // expanded link transitions.
+        let events = s.resolved_events(&g);
+        let downs = events
+            .iter()
+            .filter(|e| matches!(e.kind, FaultEventKind::LinkDown(..)))
+            .count();
+        assert_eq!(downs, 4);
+        assert!(events
+            .iter()
+            .any(|e| e.kind == FaultEventKind::RouterDown(0) && e.cycle == 10));
+        assert!(events
+            .iter()
+            .any(|e| e.kind == FaultEventKind::RouterUp(0) && e.cycle == 90));
+    }
+
+    #[test]
+    fn router_and_link_windows_on_the_same_link_merge() {
+        // Link 0-1 is down via its own window [100, 200) and via router
+        // 0's window [150, 400): one continuous [100, 400) outage.
+        let g = ring_with_chords(8);
+        let s = FaultSchedule::new()
+            .link_fault(0, 1, 100, 200)
+            .router_fault(0, 150, 400);
+        let transitions: Vec<FaultEvent> = s
+            .resolved_events(&g)
+            .into_iter()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    FaultEventKind::LinkDown(0, 1) | FaultEventKind::LinkUp(0, 1)
+                )
+            })
+            .collect();
+        assert_eq!(transitions.len(), 2);
+        assert_eq!(transitions[0].cycle, 100);
+        assert_eq!(transitions[1].cycle, 400);
+        assert!(s.active_at(&g, 250).contains(0, 1));
+    }
+
+    #[test]
+    fn schedule_sampling_is_seed_deterministic() {
+        let g = ring_with_chords(20);
+        let a = FaultSchedule::sample_links(&g, 500.0, 50, 1000, 7);
+        let b = FaultSchedule::sample_links(&g, 500.0, 50, 1000, 7);
+        assert_eq!(a, b);
+        let c = FaultSchedule::sample_links(&g, 500.0, 50, 1000, 8);
+        assert_ne!(a, c, "different seeds must draw different schedules");
+        assert!(!a.is_empty(), "MTBF 500 over 1000 cycles must draw faults");
+        assert!(a.horizon() >= 50);
+
+        let ca = FaultSchedule::sample_connected_links(&g, 0.2, 300, 100, 3);
+        let cb = FaultSchedule::sample_connected_links(&g, 0.2, 300, 100, 3);
+        assert_eq!(ca, cb);
+        // Union of all windows keeps the residual connected, so every
+        // intermediate state does too (down sets are subsets).
+        let peak = ca.active_at(&g, 0).len().max(ca.len());
+        assert!(peak > 0);
+        let union = FailureSet::sample_connected(&g, 0.2, 3);
+        assert!(union.residual(&g).is_connected());
+        for &(u, v, fail, _) in &ca.link_windows {
+            assert!(union.contains(u, v));
+            assert!(fail < 300);
+        }
+    }
+
+    #[test]
+    fn empty_schedule_has_no_events() {
+        let g = ring_with_chords(6);
+        let s = FaultSchedule::new();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.horizon(), 0);
+        assert!(s.resolved_events(&g).is_empty());
+        assert!(s.active_at(&g, 123).is_empty());
     }
 }

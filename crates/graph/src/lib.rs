@@ -16,8 +16,10 @@
 //!   Fiduccia–Mattheyses refinement with restarts. Substitute for METIS.
 //! * [`spectral`] — adjacency-eigenvalue estimation: spectral gap,
 //!   Ramanujan check, Cheeger expansion bounds (§IX context).
-//! * [`failures`] — random link-failure trials (Fig. 14) and the seeded
-//!   [`FailureSet`] sampler behind live fault injection in the simulator.
+//! * [`failures`] — random link-failure trials (Fig. 14), the seeded
+//!   [`FailureSet`] sampler behind live fault injection in the simulator,
+//!   and the [`FaultSchedule`] of timestamped fail/repair windows behind
+//!   transient (mid-run) faults.
 
 pub mod bfs;
 pub mod csr;
@@ -30,4 +32,4 @@ pub mod triangles;
 
 pub use bfs::DistanceMatrix;
 pub use csr::{Csr, GraphBuilder};
-pub use failures::FailureSet;
+pub use failures::{FailureSet, FaultEvent, FaultEventKind, FaultSchedule};

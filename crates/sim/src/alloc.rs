@@ -65,18 +65,27 @@ impl Engine<'_> {
                             router: r as u32,
                             target,
                         };
-                        let i = self.algo.next_output(&net_view!(self), hop, &mut self.rng);
+                        let i = crate::routing::route_output(
+                            self.algo.as_ref(),
+                            &net_view!(self),
+                            self.faults.pending_tables.as_ref(),
+                            &mut self.packets.frr_pinned,
+                            pkt,
+                            hop,
+                            &mut self.rng,
+                        );
                         let out_port = self.geom.downstream(r as u32, i as usize);
                         // Class-indexed VC: hop h travels in class h, any
                         // free VC within the class (deadlock freedom needs
                         // paths of <= vc_classes hops; all routing
-                        // algorithms of the paper satisfy 4).
+                        // algorithms of the paper satisfy 4). A hop index
+                        // past the budget is clamped to the top class and
+                        // counted — the deadlock argument no longer covers
+                        // that packet, and the fault sweeps assert the
+                        // counter stays 0.
                         let in_class = vc / self.per_class;
-                        debug_assert!(
-                            in_class + 1 < self.vcs / self.per_class,
-                            "path exceeded VC class budget"
-                        );
-                        let out_class = (in_class + 1).min(self.vcs / self.per_class - 1);
+                        let classes = self.vcs / self.per_class;
+                        let out_class = (in_class + 1).min(classes - 1);
                         let Some(ovc) = crate::flow::claim_vc(
                             &mut self.out_owner,
                             out_port,
@@ -87,8 +96,14 @@ impl Engine<'_> {
                             self.diag_vc_stalls += 1;
                             continue; // all VCs of the class busy; retry
                         };
+                        if in_class + 1 >= classes {
+                            // Counted once per clamped hop actually taken
+                            // (not per allocation retry of the same head).
+                            self.diag_class_clamps += 1;
+                        }
                         self.route_port[qidx] = out_port;
                         self.route_vc[qidx] = ovc;
+                        self.route_pkt[qidx] = pkt;
                     }
                     let out_port = self.route_port[qidx];
                     let out_idx = out_port as usize * self.vcs + self.route_vc[qidx] as usize;
@@ -234,6 +249,11 @@ impl Engine<'_> {
             // Traverse.
             self.out_taken[out_port] = true;
             self.link_flits[out_port] += 1;
+            if self.transient && !self.link_up[out_port] && self.faults.draining[out_port] == 0 {
+                // A flit crossed a fully-down link: routing is broken.
+                // Tracked (not asserted) so sweeps can report it.
+                self.faults.down_link_flits += 1;
+            }
             self.credits[req.out_buf as usize] -= 1;
             let arrive = cycle + self.cfg.link_latency;
             match req.src {
@@ -259,6 +279,10 @@ impl Engine<'_> {
                         let ov = self.route_vc[q];
                         self.out_owner[op as usize * self.vcs + ov as usize] = false;
                         self.route_port[q] = NONE32;
+                        self.route_pkt[q] = NONE32;
+                        if self.transient {
+                            self.note_tail_traversed(op);
+                        }
                     }
                 }
                 ReqSrc::Inject { router, stream } => {
@@ -276,6 +300,9 @@ impl Engine<'_> {
                     self.inj.last_sent[slot] = cycle;
                     if seq + 1 == self.cfg.packet_flits {
                         self.out_owner[self.inj.out_buf[slot] as usize] = false;
+                        if self.transient {
+                            self.note_tail_traversed(out_port as u32);
+                        }
                     }
                 }
             }

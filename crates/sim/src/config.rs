@@ -1,5 +1,24 @@
 //! Simulator configuration.
 
+/// What happens to packets with flits committed to a link that dies
+/// mid-run (transient faults; see `pf_topo::TransientTopo` and the
+/// fault-model section of DESIGN.md).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InFlightPolicy {
+    /// Drop-and-retransmit at source: every packet with a flit in flight
+    /// on the dying link, or a wormhole claim across it that already
+    /// carried flits, is removed from the network wherever its flits are
+    /// and returned to its source queue for a fresh injection.
+    #[default]
+    DropRetransmit,
+    /// Drain: wormholes already committed to the link finish crossing it
+    /// (the link goes "administratively down" first, "physically down"
+    /// once the last committed tail has passed); only new allocations see
+    /// the dead link immediately. Router faults always drop-and-retransmit
+    /// regardless of this policy — a dead router cannot drain.
+    Drain,
+}
+
 /// Simulator configuration (defaults follow §VIII-A of the paper).
 ///
 /// Construct with [`SimConfig::default`] and chain the builder setters:
@@ -47,6 +66,12 @@ pub struct SimConfig {
     /// Stop generating new packets after this cycle (tests use this to
     /// verify full drain; `u32::MAX` = generate throughout).
     pub gen_cutoff: u32,
+    /// In-flight-flit policy when a link dies mid-run (transient runs).
+    pub fault_policy: InFlightPolicy,
+    /// Control-plane convergence delay (cycles): after a fault event the
+    /// old route tables keep serving for this long before the rebuilt
+    /// tables swap in atomically.
+    pub convergence_delay: u32,
 }
 
 impl Default for SimConfig {
@@ -66,6 +91,8 @@ impl Default for SimConfig {
             ugal_pf_threshold: 2.0 / 3.0,
             inject_window: 16,
             gen_cutoff: u32::MAX,
+            fault_policy: InFlightPolicy::DropRetransmit,
+            convergence_delay: 200,
         }
     }
 }
@@ -119,6 +146,10 @@ impl SimConfig {
         inject_window: usize,
         /// Sets the generation cutoff cycle.
         gen_cutoff: u32,
+        /// Sets the in-flight-flit policy for mid-run link deaths.
+        fault_policy: InFlightPolicy,
+        /// Sets the table re-convergence delay (cycles).
+        convergence_delay: u32,
     }
 
     /// Total virtual channels per port.

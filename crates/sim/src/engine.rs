@@ -13,6 +13,7 @@
 pub use crate::config::SimConfig;
 
 use crate::alloc::Req;
+use crate::faults::FaultCtl;
 use crate::flow::LinkPipeline;
 use crate::packet::PacketPool;
 use crate::phase::PhaseClock;
@@ -34,10 +35,12 @@ use rand::SeedableRng;
 macro_rules! net_view {
     ($e:expr) => {
         $crate::routing::NetState {
-            tables: $e.tables,
+            tables: $e.tables.current(),
             graph: $e.graph,
             geom: &$e.geom,
             link_up: &$e.link_up,
+            router_up: &$e.faults.router_up,
+            stale_routers: $e.faults.routers_stale,
             degraded: $e.degraded,
             credits: &$e.credits,
             inj_wait: &$e.inj_wait,
@@ -51,11 +54,35 @@ macro_rules! net_view {
 }
 pub(crate) use net_view;
 
+/// The engine's route-table handle. A run starts on shared tables built
+/// by the caller (shared across the Rayon-parallel loads of a sweep);
+/// transient-fault re-convergence swaps in engine-owned rebuilds
+/// mid-run, while the old tables keep serving until the swap — the
+/// staged behavior of a real control plane.
+pub(crate) enum Tables<'a> {
+    /// Caller-owned tables (healthy and statically degraded runs; the
+    /// initial state of transient runs).
+    Shared(&'a RouteTables),
+    /// Engine-owned tables from a mid-run re-convergence.
+    Owned(RouteTables),
+}
+
+impl Tables<'_> {
+    /// The tables currently serving routing decisions.
+    #[inline]
+    pub(crate) fn current(&self) -> &RouteTables {
+        match self {
+            Tables::Shared(t) => t,
+            Tables::Owned(t) => t,
+        }
+    }
+}
+
 /// One simulation instance at a fixed offered load.
 pub struct Engine<'a> {
     pub(crate) topo: &'a dyn Topology,
     pub(crate) graph: &'a Csr,
-    pub(crate) tables: &'a RouteTables,
+    pub(crate) tables: Tables<'a>,
     pub(crate) dests: &'a DestMap,
     pub(crate) algo: Box<dyn RoutingAlgorithm + 'a>,
     /// Minimal next-hop source for bookkeeping outside the algorithm
@@ -77,17 +104,26 @@ pub struct Engine<'a> {
     /// topologies; derived from [`pf_topo::Topology::link_failures`].
     pub(crate) link_up: Vec<bool>,
     /// Whether any link is failed (gates the mask loads off the healthy
-    /// hot paths).
+    /// hot paths). Transient runs flip this as fault events fire.
     pub(crate) degraded: bool,
+    /// Whether this run has a transient-fault schedule (gates the fault
+    /// event hooks off healthy and statically-degraded hot paths).
+    pub(crate) transient: bool,
+    /// Transient-fault control: event queue, router liveness, drain
+    /// counts, re-convergence state, and fault counters. Inert (empty)
+    /// unless `transient`.
+    pub(crate) faults: FaultCtl,
 
     /// All (port, VC) input buffers as flat SoA ring buffers.
     pub(crate) bufs: FlitRings,
     /// Free slots per input-buffer queue (the sender's credit view).
     pub(crate) credits: Vec<u32>,
     /// Wormhole allocation of the packet at each queue head: downstream
-    /// input port (`NONE32` = unrouted) and VC.
+    /// input port (`NONE32` = unrouted), VC, and owning packet (tracked
+    /// so fault events can find and cancel claims).
     pub(crate) route_port: Vec<u32>,
     pub(crate) route_vc: Vec<u8>,
+    pub(crate) route_pkt: Vec<u32>,
     /// Whether each (link, VC) output is owned by an in-flight packet.
     pub(crate) out_owner: Vec<bool>,
 
@@ -139,6 +175,11 @@ pub struct Engine<'a> {
     /// Diagnostic: outputs that had requests but sent nothing (matching
     /// loss), cumulative.
     pub diag_match_losses: u64,
+    /// Diagnostic: hops that exceeded the hop-indexed VC class budget and
+    /// were clamped to the top class, cumulative. Nonzero means the
+    /// deadlock-freedom argument was abandoned for some packet — the
+    /// transient-fault tests and sweeps assert this stays 0.
+    pub diag_class_clamps: u64,
 }
 
 impl<'a> Engine<'a> {
@@ -201,11 +242,29 @@ impl<'a> Engine<'a> {
                 degraded = true;
             }
         }
-        if degraded {
+        // Transient runs flip masks mid-cycle-loop; the event queue and
+        // fault bookkeeping come from the topology's schedule.
+        let mut faults = match topo.fault_schedule() {
+            Some(schedule) => FaultCtl::from_schedule(schedule, g, &geom, n, num_ports, &cfg),
+            None => FaultCtl::inactive(),
+        };
+        let transient = faults.active();
+        if transient {
+            // Links already down at cycle 0 (including static failures a
+            // wrapped DegradedTopo advertises) must stay out of every
+            // mid-run table rebuild's residual.
+            if let Some(f) = topo.link_failures() {
+                faults.down_edges.extend_from_slice(f.edges());
+            }
+        }
+
+        if degraded || transient {
             // Residual minimal paths exceed the healthy diameter and
             // detours compose two of them; without a VC class per hop the
             // hop-indexed deadlock-freedom argument silently breaks (the
             // allocator clamps to the last class). Fail loudly instead.
+            // (Transient runs re-check at every table re-convergence,
+            // when the residual diameter is known.)
             let diameter = tables.max_finite_dist();
             let need = algo.max_hops(diameter);
             assert!(
@@ -231,7 +290,7 @@ impl<'a> Engine<'a> {
         Engine {
             topo,
             graph: g,
-            tables,
+            tables: Tables::Shared(tables),
             dests,
             algo,
             min_hop,
@@ -244,10 +303,13 @@ impl<'a> Engine<'a> {
             geom,
             link_up,
             degraded,
+            transient,
+            faults,
             bufs: FlitRings::new(queues, cap_per_vc),
             credits: vec![cap_per_vc; queues],
             route_port: vec![NONE32; queues],
             route_vc: vec![0; queues],
+            route_pkt: vec![NONE32; queues],
             out_owner: vec![false; queues],
             src_q: SourceQueues::new(n),
             inj: InjPool::new(&stream_caps),
@@ -275,6 +337,7 @@ impl<'a> Engine<'a> {
             diag_vc_stalls: 0,
             diag_credit_stalls: 0,
             diag_match_losses: 0,
+            diag_class_clamps: 0,
             cfg,
         }
     }
@@ -304,12 +367,23 @@ impl<'a> Engine<'a> {
             generated: self.measured_generated,
             delivered: self.measured_delivered,
             saturated,
+            dropped_flits: self.faults.dropped_flits,
+            retransmitted_packets: self.faults.retransmitted_packets,
+            table_swaps: self.faults.table_swaps,
+            down_link_flits: self.faults.down_link_flits,
+            vc_class_clamps: self.diag_class_clamps,
         }
     }
 
     /// Advances one cycle.
     pub fn step(&mut self) {
         let cycle = self.cycle;
+        if self.transient {
+            // 0. Fault events scheduled for this cycle (mask flips,
+            //    in-flight policy) and any due table re-convergence.
+            self.apply_fault_events(cycle);
+            self.maybe_swap_tables(cycle);
+        }
         self.port_used.iter_mut().for_each(|v| *v = false);
         self.out_taken.iter_mut().for_each(|v| *v = false);
 
@@ -379,6 +453,27 @@ impl<'a> Engine<'a> {
     /// Current cycle (the number of completed [`Engine::step`] calls).
     pub fn cycle(&self) -> u32 {
         self.cycle
+    }
+
+    /// Flits dropped by the transient drop-and-retransmit policy so far.
+    pub fn dropped_flits(&self) -> u64 {
+        self.faults.dropped_flits
+    }
+
+    /// Packets returned to their source queues after fault events so far.
+    pub fn retransmitted_packets(&self) -> u64 {
+        self.faults.retransmitted_packets
+    }
+
+    /// Route-table re-convergence swaps completed so far.
+    pub fn table_swaps(&self) -> u32 {
+        self.faults.table_swaps
+    }
+
+    /// Flits that traversed a fully-down (not draining) link so far —
+    /// always 0 unless routing is broken.
+    pub fn down_link_flits(&self) -> u64 {
+        self.faults.down_link_flits
     }
 
     /// Asserts the credit/buffer accounting invariants (used by the

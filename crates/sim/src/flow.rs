@@ -73,6 +73,30 @@ impl LinkPipeline {
     pub fn in_flight(&self) -> usize {
         self.in_flight
     }
+
+    /// All scheduled arrivals, in no particular order (fault-event scan).
+    pub(crate) fn iter(&self) -> impl Iterator<Item = &Arrival> {
+        self.slots.iter().flatten()
+    }
+
+    /// Removes every scheduled arrival matching `pred` and returns them
+    /// (the caller restores the credits the senders spent). O(in-flight)
+    /// — called only at (rare) fault events.
+    pub(crate) fn purge<F: FnMut(&Arrival) -> bool>(&mut self, mut pred: F) -> Vec<Arrival> {
+        let mut removed = Vec::new();
+        for slot in &mut self.slots {
+            slot.retain(|a| {
+                if pred(a) {
+                    removed.push(*a);
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        self.in_flight -= removed.len();
+        removed
+    }
 }
 
 /// Claims a free VC of `class` on `out_port`: returns the VC index and

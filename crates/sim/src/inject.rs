@@ -14,12 +14,18 @@ use crate::routing::{HopContext, RoutePlan};
 use rand::Rng;
 
 impl Engine<'_> {
-    /// Bernoulli packet generation at every endpoint.
+    /// Bernoulli packet generation at every endpoint. A down router
+    /// generates nothing; packets toward a down (or not-yet-reconverged)
+    /// destination are generated but held at the source — see
+    /// [`Engine::start_injections`].
     pub(crate) fn generate(&mut self, cycle: u32) {
         let prob = self.load / f64::from(self.cfg.packet_flits);
         let measured_window = self.clock.in_measurement(cycle);
         let mh = self.min_hop;
         for r in 0..self.n as u32 {
+            if self.transient && !self.faults.router_up[r as usize] {
+                continue;
+            }
             for _ in 0..self.endpoints[r as usize] {
                 if self.rng.gen::<f64>() >= prob {
                     continue;
@@ -27,14 +33,20 @@ impl Engine<'_> {
                 let dst = self.dests.pick(r, &mut self.rng);
                 debug_assert_ne!(dst, r);
                 // Charge the minimal first-hop link's virtual output
-                // queue while the packet waits at the source.
-                let next = mh.next(&net_view!(self), r, dst);
-                let i = net_view!(self).neighbor_index(r, next);
-                let min_first_link = self.geom.downstream(r, i);
-                self.inj_wait[min_first_link as usize] += 1;
+                // queue while the packet waits at the source (held
+                // unroutable packets carry no charge until they can move).
+                let min_first_link = if self.dst_routable(r, dst) {
+                    let next = mh.next(&net_view!(self), r, dst);
+                    let i = net_view!(self).neighbor_index(r, next);
+                    let link = self.geom.downstream(r, i);
+                    self.inj_wait[link as usize] += 1;
+                    link
+                } else {
+                    NONE32
+                };
                 let id = self
                     .packets
-                    .alloc(dst, cycle, measured_window, min_first_link);
+                    .alloc(r, dst, cycle, measured_window, min_first_link);
                 self.src_q.push(r as usize, id);
                 self.total_generated += 1;
                 if measured_window {
@@ -113,6 +125,9 @@ impl Engine<'_> {
             if self.endpoints[ru] == 0 || self.src_q.is_empty(ru) {
                 continue;
             }
+            if self.transient && !self.faults.router_up[ru] {
+                continue; // a down router injects nothing
+            }
             let window = self.cfg.inject_window.min(self.src_q.len(ru));
             let mut started = std::mem::take(&mut self.started_scratch);
             started.clear();
@@ -122,6 +137,9 @@ impl Engine<'_> {
                 }
                 let pkt_id = self.src_q.get(ru, idx);
                 let dst = self.packets.dst[pkt_id as usize];
+                if !self.dst_routable(r, dst) {
+                    continue; // held until the destination is routable again
+                }
                 // Decide min-vs-Valiant and the intermediate (§VII; UGAL
                 // decisions read current buffer state).
                 let plan = self.algo.plan(&net_view!(self), r, dst, &mut self.rng);
@@ -137,7 +155,15 @@ impl Engine<'_> {
                     router: r,
                     target: first_target,
                 };
-                let port_i = self.algo.next_output(&net_view!(self), hop, &mut self.rng);
+                let port_i = crate::routing::route_output(
+                    self.algo.as_ref(),
+                    &net_view!(self),
+                    self.faults.pending_tables.as_ref(),
+                    &mut self.packets.frr_pinned,
+                    pkt_id,
+                    hop,
+                    &mut self.rng,
+                );
                 let out_port = self.geom.downstream(r, port_i as usize);
                 // Injection uses class 0: any free VC in [0, per_class).
                 let Some(vc) = crate::flow::claim_vc(

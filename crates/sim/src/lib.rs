@@ -26,12 +26,22 @@
 //!   a mask-validated algebraic fast path, so every routing algorithm
 //!   routes around fail-stop links (see the fault-model section of
 //!   DESIGN.md).
+//! * **Transient faults**: topologies carrying a fault schedule
+//!   (`pf_topo::TransientTopo`) drive a mid-run event queue — links and
+//!   routers die and repair at scheduled cycles, in-flight flits follow a
+//!   configurable drop-and-retransmit / drain policy
+//!   ([`InFlightPolicy`]), and route tables re-converge in stages: the
+//!   stale tables keep serving (mask-checked, locally detoured) until a
+//!   Rayon-parallel rebuild swaps in after `convergence_delay` cycles
+//!   (see [`faults`]).
 //!
 //! ## Module map
 //!
 //! The engine is decomposed along router-microarchitecture lines:
 //!
 //! * [`engine`] — the [`Engine`] state and per-cycle orchestration;
+//! * [`faults`] — the transient-fault event queue, in-flight-flit
+//!   policies, and staged table re-convergence;
 //! * [`router`] — per-router state as flat structure-of-arrays ring
 //!   buffers (port geometry, input buffers, injection streams), with
 //!   [`queues`] (source queues) and [`packet`] (packet records) alongside;
@@ -64,6 +74,7 @@ pub mod alloc;
 pub mod analytic;
 pub mod config;
 pub mod engine;
+pub mod faults;
 pub mod flow;
 pub mod inject;
 pub mod packet;
@@ -77,7 +88,7 @@ pub mod tables;
 pub mod traffic;
 
 pub use analytic::{analyze, FluidAnalysis};
-pub use config::SimConfig;
+pub use config::{InFlightPolicy, SimConfig};
 pub use engine::{simulate, Engine};
 pub use phase::{PhaseClock, SimPhase};
 pub use router::FlitRings;

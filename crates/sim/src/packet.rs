@@ -9,6 +9,9 @@ use crate::router::NONE32;
 /// those probes on dense cache lines. Freed ids are recycled via an
 /// internal free list.
 pub struct PacketPool {
+    /// Source router — the retransmission target after a transient-fault
+    /// drop (packets return to their source queue).
+    pub(crate) src: Vec<u32>,
     pub(crate) dst: Vec<u32>,
     /// Valiant intermediate (`NONE32` = minimal).
     pub(crate) mid: Vec<u32>,
@@ -18,6 +21,10 @@ pub struct PacketPool {
     /// The minimal first-hop link charged in `inj_wait` while queued at
     /// the source (`NONE32` once injected).
     pub(crate) min_first_link: Vec<u32>,
+    /// Fast-reroute pin: set when a stale next hop died under the packet
+    /// mid-convergence; a pinned packet rides the pending (re-converged)
+    /// tables for the rest of its path, which keeps it loop-free.
+    pub(crate) frr_pinned: Vec<bool>,
     free: Vec<u32>,
 }
 
@@ -25,34 +32,52 @@ impl PacketPool {
     /// An empty pool.
     pub fn new() -> PacketPool {
         PacketPool {
+            src: Vec::new(),
             dst: Vec::new(),
             mid: Vec::new(),
             birth: Vec::new(),
             measured: Vec::new(),
             passed_mid: Vec::new(),
             min_first_link: Vec::new(),
+            frr_pinned: Vec::new(),
             free: Vec::new(),
         }
     }
 
+    /// Number of packet records (live + freed slots).
+    pub(crate) fn capacity(&self) -> usize {
+        self.dst.len()
+    }
+
     /// Allocates a packet record, reusing a freed slot when possible.
-    pub fn alloc(&mut self, dst: u32, birth: u32, measured: bool, min_first_link: u32) -> u32 {
+    pub fn alloc(
+        &mut self,
+        src: u32,
+        dst: u32,
+        birth: u32,
+        measured: bool,
+        min_first_link: u32,
+    ) -> u32 {
         if let Some(id) = self.free.pop() {
             let i = id as usize;
+            self.src[i] = src;
             self.dst[i] = dst;
             self.mid[i] = NONE32;
             self.birth[i] = birth;
             self.measured[i] = measured;
             self.passed_mid[i] = false;
             self.min_first_link[i] = min_first_link;
+            self.frr_pinned[i] = false;
             id
         } else {
+            self.src.push(src);
             self.dst.push(dst);
             self.mid.push(NONE32);
             self.birth.push(birth);
             self.measured.push(measured);
             self.passed_mid.push(false);
             self.min_first_link.push(min_first_link);
+            self.frr_pinned.push(false);
             (self.dst.len() - 1) as u32
         }
     }
@@ -77,15 +102,17 @@ mod tests {
     #[test]
     fn packet_pool_reuses_slots() {
         let mut p = PacketPool::new();
-        let a = p.alloc(5, 10, true, 3);
-        let b = p.alloc(6, 11, false, NONE32);
+        let a = p.alloc(0, 5, 10, true, 3);
+        let b = p.alloc(1, 6, 11, false, NONE32);
         assert_ne!(a, b);
         p.release(a);
-        let c = p.alloc(9, 12, false, 1);
+        let c = p.alloc(2, 9, 12, false, 1);
         assert_eq!(c, a, "freed slot must be reused");
+        assert_eq!(p.src[c as usize], 2);
         assert_eq!(p.dst[c as usize], 9);
         assert!(!p.passed_mid[c as usize]);
         assert_eq!(p.mid[c as usize], NONE32);
         assert_eq!(p.min_first_link[c as usize], 1);
+        assert_eq!(p.capacity(), 2);
     }
 }

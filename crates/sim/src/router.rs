@@ -190,6 +190,42 @@ impl FlitRings {
         let s = self.slot(q, i);
         (self.pkt[s], self.seq[s], self.ready[s])
     }
+
+    /// Removes every flit of queue `q` whose packet satisfies `victim`,
+    /// preserving the FIFO order of survivors; returns the number
+    /// removed. O(queue length) — called only at (rare) fault events,
+    /// never from the hot loops.
+    pub(crate) fn purge_queue<F: FnMut(u32) -> bool>(&mut self, q: usize, mut victim: F) -> u32 {
+        let len = self.len[q];
+        if len == 0 {
+            return 0;
+        }
+        let base = q * self.cap as usize;
+        let mut kept: Vec<(u32, u16, u32)> = Vec::with_capacity(len as usize);
+        for i in 0..len {
+            let mut off = self.head[q] + i;
+            if off >= self.cap {
+                off -= self.cap;
+            }
+            let s = base + off as usize;
+            if !victim(self.pkt[s]) {
+                kept.push((self.pkt[s], self.seq[s], self.ready[s]));
+            }
+        }
+        let removed = len - kept.len() as u32;
+        if removed == 0 {
+            return 0;
+        }
+        self.head[q] = 0;
+        self.len[q] = kept.len() as u32;
+        for (i, (pkt, seq, ready)) in kept.into_iter().enumerate() {
+            self.pkt[base + i] = pkt;
+            self.seq[base + i] = seq;
+            self.ready[base + i] = ready;
+        }
+        self.total -= removed as usize;
+        removed
+    }
 }
 
 /// Active injection streams, SoA, partitioned per router.
@@ -254,6 +290,19 @@ impl InjPool {
         self.out_buf[s] = out_buf;
         self.last_sent[s] = NONE32;
         self.len[r] += 1;
+    }
+
+    /// Swap-removes stream `s` of router `r` (fault-event victim
+    /// cleanup; the caller releases the stream's output-VC claim).
+    pub(crate) fn remove(&mut self, r: usize, s: u32) {
+        debug_assert!(s < self.len[r]);
+        let slot = (self.base[r] + s) as usize;
+        let last = (self.base[r] + self.len[r] - 1) as usize;
+        self.pkt[slot] = self.pkt[last];
+        self.next_seq[slot] = self.next_seq[last];
+        self.out_buf[slot] = self.out_buf[last];
+        self.last_sent[slot] = self.last_sent[last];
+        self.len[r] -= 1;
     }
 
     /// Swap-removes every stream of router `r` whose `next_seq` reached

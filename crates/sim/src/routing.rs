@@ -39,6 +39,14 @@ pub struct NetState<'e> {
     /// Per-link liveness, indexed by downstream input port: `false` marks
     /// a failed link no routing decision may select.
     pub link_up: &'e [bool],
+    /// Per-router liveness on transient runs (empty = every router up).
+    /// A down router neither injects nor ejects, and detour intermediates
+    /// must avoid it.
+    pub router_up: &'e [bool],
+    /// Whether some router repaired since the last table swap: its links
+    /// are live but the serving tables cannot reach it yet, so detour
+    /// targets must be reachability-filtered until the swap lands.
+    pub stale_routers: bool,
     /// Whether any link is failed — `false` keeps the healthy hot paths
     /// free of mask loads.
     pub degraded: bool,
@@ -105,6 +113,12 @@ impl NetState<'_> {
         !self.degraded || self.link_up[self.geom.downstream(r, i) as usize]
     }
 
+    /// Whether router `r` is up (always true outside transient runs).
+    #[inline]
+    pub fn router_live(&self, r: u32) -> bool {
+        self.router_up.is_empty() || self.router_up[r as usize]
+    }
+
     /// Whether the physical link `r → next` is up (`next` must be a
     /// full-graph neighbor of `r`).
     #[inline]
@@ -117,16 +131,20 @@ impl NetState<'_> {
 
     /// A uniformly random *live* neighbor of `r` (reservoir sampling over
     /// unmasked links), or `None` if every incident link is down — which a
-    /// connected residual graph rules out.
+    /// connected residual graph rules out. Inside a router-repair stale
+    /// window the neighbor must also be reachable under the serving
+    /// tables: a just-repaired router has live links but stays
+    /// table-unreachable until the re-convergence swap, and a detour
+    /// targeting it would be unroutable.
     pub fn random_live_neighbor(&self, r: u32, rng: &mut StdRng) -> Option<u32> {
         let nbrs = self.graph.neighbors(r);
-        if !self.degraded {
+        if !self.degraded && !self.stale_routers {
             return Some(nbrs[rng.gen_range(0..nbrs.len())]);
         }
         let mut chosen = None;
         let mut seen = 0u32;
         for (i, &w) in nbrs.iter().enumerate() {
-            if !self.link_ok(r, i) {
+            if !self.link_ok(r, i) || (self.stale_routers && !self.tables.reachable(r, w)) {
                 continue;
             }
             seen += 1;
@@ -181,9 +199,12 @@ impl MinHop<'_> {
     /// The minimal-hop source `topo` supports — the single decision point
     /// shared by the engine's bookkeeping and `Routing::algorithm`, so the
     /// two can never disagree on the fast path. Topologies advertising
-    /// failed links get the mask-validated algebraic variant.
+    /// failed links — or a transient fault schedule, under which any link
+    /// may die mid-run — get the mask-validated algebraic variant (whose
+    /// mask checks are free while every link is up).
     pub fn for_topology(topo: &dyn pf_topo::Topology) -> MinHop<'_> {
-        let degraded = topo.link_failures().is_some_and(|f| !f.is_empty());
+        let degraded =
+            topo.link_failures().is_some_and(|f| !f.is_empty()) || topo.fault_schedule().is_some();
         match topo.routing_hint() {
             pf_topo::RoutingHint::PolarFly(pf) if degraded => MinHop::AlgebraicMasked(pf),
             pf_topo::RoutingHint::PolarFly(pf) => MinHop::Algebraic(pf),
@@ -234,16 +255,121 @@ pub trait RoutingAlgorithm: Send + Sync {
     }
 }
 
+/// Routes one packet hop through `algo`, enforcing the link-liveness
+/// contract on degraded/transient networks.
+///
+/// While stale tables serve during a re-convergence window, an
+/// algorithm's choice can land on a link that just died (or, for
+/// [`MinAdaptive`], no live stale-minimal candidate may exist, signalled
+/// by `Port::MAX`). The packet is then *fast-rerouted*: it takes the
+/// `pending` (already re-converged, residual-minimal) tables' next hop
+/// and stays pinned to them for the rest of its path — the simulator's
+/// model of precomputed link-failure backup routes. Pinning makes every
+/// path loop-free and hop-bounded: a strictly-decreasing stale prefix,
+/// one transition, then a strictly-decreasing residual suffix. Mixing
+/// the two metrics hop-by-hop instead can ping-pong forever (stale
+/// points forward, backup points back).
+///
+/// Healthy and statically-degraded runs take the algorithm's answer
+/// untouched: `pending` is `None` there (and after every completed
+/// swap), so the pin state is not even consulted — a stale pin past its
+/// convergence is deliberately ignored, because the serving tables *are*
+/// the backup routes once the swap lands.
+#[inline]
+pub(crate) fn route_output(
+    algo: &dyn RoutingAlgorithm,
+    net: &NetState,
+    pending: Option<&RouteTables>,
+    pinned: &mut [bool],
+    pkt: u32,
+    hop: HopContext,
+    rng: &mut StdRng,
+) -> Port {
+    if let Some(pt) = pending {
+        if pinned[pkt as usize] {
+            if let Some(i) = table_port(net, pt, hop) {
+                return i;
+            }
+            // Pending cannot route this pair (should not happen on a
+            // live-connected residual); greedy last resort.
+            return fallback_live_min(net, hop);
+        }
+    }
+    let p = algo.next_output(net, hop, rng);
+    if !net.degraded || (p != Port::MAX && net.link_ok(hop.router, p as usize)) {
+        return p;
+    }
+    // Stale next hop is dead: pin onto the backup (pending) tables.
+    pinned[pkt as usize] = true;
+    if let Some(pt) = pending {
+        if let Some(i) = table_port(net, pt, hop) {
+            return i;
+        }
+    }
+    fallback_live_min(net, hop)
+}
+
+/// The live local port toward `tables`' next hop for this pair, if any.
+fn table_port(net: &NetState, tables: &RouteTables, hop: HopContext) -> Option<Port> {
+    let next = tables.next_hop(hop.router, hop.target);
+    if next == hop.router {
+        return None; // unreachable under these tables
+    }
+    let i = net.neighbor_index(hop.router, next);
+    net.link_ok(hop.router, i).then_some(i as Port)
+}
+
+/// Greedy last resort: the live neighbor minimizing the (possibly
+/// stale) table distance to the target. Only reachable when no pending
+/// tables exist for a pair mid-window; deterministic first-minimum
+/// tie-break.
+fn fallback_live_min(net: &NetState, hop: HopContext) -> Port {
+    let mut best = Port::MAX;
+    let mut best_d = u32::MAX;
+    for (i, &w) in net.graph.neighbors(hop.router).iter().enumerate() {
+        if !net.link_ok(hop.router, i) {
+            continue;
+        }
+        let d = net.tables.dist(w, hop.target);
+        if d < best_d {
+            best_d = d;
+            best = i as Port;
+        }
+    }
+    assert_ne!(
+        best,
+        Port::MAX,
+        "router {} has no live links (disconnected fault state)",
+        hop.router
+    );
+    best
+}
+
 #[inline]
 fn port_toward(net: &NetState, min: &MinHop, at: u32, target: u32) -> Port {
     let next = min.next(net, at, target);
     net.neighbor_index(at, next) as Port
 }
 
-fn random_mid(n: u32, src: u32, dst: u32, rng: &mut StdRng) -> u32 {
+/// A uniformly random Valiant intermediate: distinct from both
+/// endpoints and — on transient runs only — on a live router and
+/// reachable in both legs under the current tables (a router mid-repair
+/// stays excluded until the tables re-converge, so no packet chases an
+/// intermediate the stale tables cannot route to). Healthy and
+/// statically-degraded runs skip the liveness/reachability loads: their
+/// routing graph is connected by construction.
+fn random_mid(net: &NetState, src: u32, dst: u32, rng: &mut StdRng) -> u32 {
+    let n = net.graph.vertex_count() as u32;
+    let transient = !net.router_up.is_empty();
     loop {
         let r = rng.gen_range(0..n);
-        if r != src && r != dst {
+        if r != src
+            && r != dst
+            && (!transient
+                || (net.router_up[r as usize]
+                    && net.tables.reachable(src, r)
+                    && net.tables.reachable(r, dst)))
+        {
             return r;
         }
     }
@@ -292,8 +418,11 @@ impl RoutingAlgorithm for MinAdaptive {
     /// Ties are broken uniformly at random — deterministic tie-breaking
     /// makes every source herd onto the same equal-cost port in the same
     /// cycle, which measurably collapses folded-Clos throughput. Failed
-    /// links are masked out of the candidate set; the residual-graph
-    /// distance tables guarantee a live minimal hop always remains.
+    /// links are masked out of the candidate set; tables built on the
+    /// residual graph guarantee a live minimal hop remains, but *stale*
+    /// tables inside a transient re-convergence window may not — then
+    /// `Port::MAX` is returned and the engine's fast-reroute wrapper
+    /// (`route_output`) detours the packet onto the pending tables.
     fn next_output(&self, net: &NetState, hop: HopContext, rng: &mut StdRng) -> Port {
         let want = net.tables.dist(hop.router, hop.target) - 1;
         let mut best = Port::MAX;
@@ -316,7 +445,10 @@ impl RoutingAlgorithm for MinAdaptive {
                 }
             }
         }
-        debug_assert_ne!(best, Port::MAX, "no minimal next hop found");
+        debug_assert!(
+            net.degraded || best != Port::MAX,
+            "no minimal next hop found"
+        );
         best
     }
 
@@ -352,7 +484,7 @@ impl RoutingAlgorithm for Valiant<'_> {
     }
 
     fn plan(&self, net: &NetState, src: u32, dst: u32, rng: &mut StdRng) -> RoutePlan {
-        RoutePlan::Detour(random_mid(net.graph.vertex_count() as u32, src, dst, rng))
+        RoutePlan::Detour(random_mid(net, src, dst, rng))
     }
 }
 
@@ -418,7 +550,7 @@ impl RoutingAlgorithm for UgalL<'_> {
     }
 
     fn plan(&self, net: &NetState, src: u32, dst: u32, rng: &mut StdRng) -> RoutePlan {
-        let mid = random_mid(net.graph.vertex_count() as u32, src, dst, rng);
+        let mid = random_mid(net, src, dst, rng);
         let h_min = net.tables.dist(src, dst);
         let h_val = net.tables.dist(src, mid) + net.tables.dist(mid, dst);
         let q_min = net.occupancy_toward(src, self.min.next(net, src, dst));
@@ -467,7 +599,7 @@ impl RoutingAlgorithm for UgalPf<'_> {
             // Adjacent pairs: a neighbor detour could bounce back through
             // the source (§VII-B), so fall back to general Valiant —
             // 4-hop detours, as Fig. 9b describes.
-            RoutePlan::Detour(random_mid(net.graph.vertex_count() as u32, src, dst, rng))
+            RoutePlan::Detour(random_mid(net, src, dst, rng))
         } else {
             match net.random_live_neighbor(src, rng) {
                 Some(m) => RoutePlan::Detour(m),

@@ -22,6 +22,23 @@ pub struct SimResult {
     /// `true` when not all measured packets drained — the network is past
     /// saturation at this offered load and `avg_latency` is a lower bound.
     pub saturated: bool,
+    /// Flits dropped by the transient-fault drop-and-retransmit policy
+    /// (0 on healthy/static runs and under the drain policy).
+    pub dropped_flits: u64,
+    /// Packets returned to their source queue for retransmission after a
+    /// fault event (0 on healthy/static runs).
+    pub retransmitted_packets: u64,
+    /// Route-table re-convergence swaps completed during the run.
+    pub table_swaps: u32,
+    /// Flits that traversed a link while it was down and not draining.
+    /// Any nonzero value is a routing bug — the transient tests and the
+    /// `transient_sweep` binary assert this stays 0.
+    pub down_link_flits: u64,
+    /// Hops that exceeded the hop-indexed VC class budget and were
+    /// clamped to the top class (abandoning the deadlock-freedom
+    /// argument for that packet). Must stay 0 in a correctly provisioned
+    /// run; fault sweeps assert it.
+    pub vc_class_clamps: u64,
 }
 
 impl SimResult {

@@ -117,6 +117,15 @@ impl RouteTables {
             .map_or(0, u32::from)
     }
 
+    /// Whether `d` is reachable from `s` in the graph the tables were
+    /// built on (always true on a connected residual; finite-checked by
+    /// the transient engine before routing toward a repaired router whose
+    /// tables have not re-converged yet).
+    #[inline]
+    pub fn reachable(&self, s: u32, d: u32) -> bool {
+        self.dist[s as usize * self.n + d as usize] != bfs::UNREACHABLE
+    }
+
     /// The table's minimal next hop from `s` toward `d` (`s` if `s == d`).
     #[inline]
     pub fn next_hop(&self, s: u32, d: u32) -> u32 {

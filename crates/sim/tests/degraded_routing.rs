@@ -80,6 +80,8 @@ fn masked_algebraic_next_hop_is_residual_minimal() {
         graph: degraded.graph(),
         geom: &geom,
         link_up: &link_up,
+        router_up: &[],
+        stale_routers: false,
         degraded: true,
         credits: &credits,
         inj_wait: &inj_wait,

@@ -20,6 +20,9 @@
 //!   plus the qualitative Table I feasibility matrix.
 //! * [`degraded`] — [`DegradedTopo`], the failed-link mask wrapper behind
 //!   the simulator's degraded-operation scenarios.
+//! * [`transient`] — [`TransientTopo`], the time-varying counterpart:
+//!   a [`pf_graph::FaultSchedule`] of fail/repair windows drives mid-run
+//!   mask flips and staged route re-convergence in the simulator.
 
 pub mod degraded;
 pub mod dragonfly;
@@ -31,6 +34,7 @@ pub mod named;
 pub mod oft;
 pub mod slimfly;
 pub mod traits;
+pub mod transient;
 
 pub use degraded::DegradedTopo;
 pub use dragonfly::Dragonfly;
@@ -41,3 +45,4 @@ pub use mlfm::Mlfm;
 pub use oft::Oft;
 pub use slimfly::SlimFly;
 pub use traits::{PolarFlyTopo, RoutingHint, Topology};
+pub use transient::TransientTopo;

@@ -1,0 +1,303 @@
+//! Transient topologies: a [`Topology`] wrapper whose failed-link set
+//! varies over simulated time.
+//!
+//! [`TransientTopo`] is the time-varying counterpart of
+//! [`crate::DegradedTopo`]: instead of one [`FailureSet`] fixed for the
+//! run, it carries a [`FaultSchedule`] of half-open `[fail, repair)`
+//! windows on links and routers. The *physical* graph is unchanged — as
+//! with `DegradedTopo`, dead links keep their ports, buffers, and
+//! credits — and the wrapper advertises:
+//!
+//! * the schedule itself through [`Topology::fault_schedule`], from
+//!   which the simulator builds its fault event queue (mask flips at the
+//!   scheduled cycles, in-flight-flit policy, staged table
+//!   re-convergence);
+//! * the cycle-0 state through [`Topology::link_failures`], so route
+//!   tables built at construction (`pf_sim::RouteTables::build_for`
+//!   style consumers) start from the correct residual graph.
+//!
+//! Construction validates what the cycle simulator requires: every
+//! scheduled link must be an edge, and at *every* fault state the graph
+//! restricted to live routers and live links must stay connected —
+//! otherwise some router pair would be unroutable for part of the run
+//! and packets could never drain. Draw engine-safe link schedules with
+//! [`FaultSchedule::sample_connected_links`].
+
+use crate::traits::{RoutingHint, Topology};
+use pf_graph::{Csr, FailureSet, FaultEventKind, FaultSchedule};
+
+/// A topology with a schedule of transient (mid-run) faults.
+///
+/// # Examples
+///
+/// ```
+/// use pf_graph::FaultSchedule;
+/// use pf_topo::{PolarFlyTopo, Topology, TransientTopo};
+///
+/// let pf = PolarFlyTopo::new(7, 4).unwrap();
+/// let schedule =
+///     FaultSchedule::sample_connected_links(pf.graph(), 0.05, 200, 150, 9);
+/// let transient = TransientTopo::new(&pf, schedule);
+/// assert_eq!(transient.router_count(), pf.router_count());
+/// assert!(transient.fault_schedule().is_some());
+/// assert!(transient.name().contains("~transient"));
+/// ```
+pub struct TransientTopo<'a> {
+    inner: &'a dyn Topology,
+    schedule: FaultSchedule,
+    /// Links already down at cycle 0 (usually empty).
+    initial: FailureSet,
+}
+
+impl<'a> TransientTopo<'a> {
+    /// Wraps `inner` with a fault schedule. Static failures the inner
+    /// topology already advertises (a [`crate::DegradedTopo`]) are
+    /// merged into the cycle-0 state and stay down for the whole run —
+    /// unless the schedule carries a repair window for such a link, in
+    /// which case the schedule wins. Panics if a scheduled link is not
+    /// an edge of the topology, a scheduled router is out of range, or
+    /// any fault state disconnects the live part of the network (live
+    /// routers under surviving links) — sample link schedules with
+    /// [`FaultSchedule::sample_connected_links`] to avoid the latter.
+    pub fn new(inner: &'a dyn Topology, schedule: FaultSchedule) -> TransientTopo<'a> {
+        let g = inner.graph();
+        let static_failures = inner.link_failures().cloned().unwrap_or_default();
+        let events = schedule.resolved_events(g); // validates links/routers
+        assert_states_connected(g, &static_failures, &events, &inner.name());
+        let mut initial: Vec<(u32, u32)> = schedule.active_at(g, 0).edges().to_vec();
+        initial.extend_from_slice(static_failures.edges());
+        let initial = FailureSet::from_edges(&initial);
+        TransientTopo {
+            inner,
+            schedule,
+            initial,
+        }
+    }
+
+    /// The wrapped (fault-free) topology.
+    pub fn inner(&self) -> &dyn Topology {
+        self.inner
+    }
+
+    /// The fault schedule driving this topology.
+    pub fn schedule(&self) -> &FaultSchedule {
+        &self.schedule
+    }
+}
+
+impl Topology for TransientTopo<'_> {
+    fn name(&self) -> String {
+        format!("{}~transient×{}", self.inner.name(), self.schedule.len())
+    }
+
+    /// The *physical* graph: links scheduled to fail keep their ports and
+    /// buffers throughout (masked at routing while down).
+    fn graph(&self) -> &Csr {
+        self.inner.graph()
+    }
+
+    fn endpoints(&self, r: u32) -> usize {
+        self.inner.endpoints(r)
+    }
+
+    fn is_direct(&self) -> bool {
+        self.inner.is_direct()
+    }
+
+    /// Forwarded unchanged: the structural hint survives transient
+    /// faults; the simulator validates algebraic hops against its live
+    /// per-port masks.
+    fn routing_hint(&self) -> RoutingHint<'_> {
+        self.inner.routing_hint()
+    }
+
+    /// The schedule's cycle-0 state (`None` when the run starts healthy).
+    fn link_failures(&self) -> Option<&FailureSet> {
+        if self.initial.is_empty() {
+            None
+        } else {
+            Some(&self.initial)
+        }
+    }
+
+    fn fault_schedule(&self) -> Option<&FaultSchedule> {
+        Some(&self.schedule)
+    }
+}
+
+/// Replays the resolved event stream on top of the inner topology's
+/// static failures and asserts that every fault state keeps the
+/// live-router subgraph (under live links) connected.
+fn assert_states_connected(
+    g: &Csr,
+    static_failures: &FailureSet,
+    events: &[pf_graph::FaultEvent],
+    name: &str,
+) {
+    use std::collections::BTreeSet;
+    let mut down_links: BTreeSet<(u32, u32)> = static_failures.edges().iter().copied().collect();
+    let mut down_routers: BTreeSet<u32> = BTreeSet::new();
+    assert!(
+        live_subgraph_connected(g, &down_links, &down_routers),
+        "{name}: static failures alone disconnect the network"
+    );
+    let mut i = 0;
+    while i < events.len() {
+        let cycle = events[i].cycle;
+        while i < events.len() && events[i].cycle == cycle {
+            match events[i].kind {
+                FaultEventKind::LinkDown(u, v) => {
+                    down_links.insert((u, v));
+                }
+                FaultEventKind::LinkUp(u, v) => {
+                    down_links.remove(&(u, v));
+                }
+                FaultEventKind::RouterDown(r) => {
+                    down_routers.insert(r);
+                }
+                FaultEventKind::RouterUp(r) => {
+                    down_routers.remove(&r);
+                }
+            }
+            i += 1;
+        }
+        assert!(
+            live_subgraph_connected(g, &down_links, &down_routers),
+            "{name}: fault state at cycle {cycle} disconnects the live \
+             network ({} links, {} routers down); sample with \
+             FaultSchedule::sample_connected_links",
+            down_links.len(),
+            down_routers.len()
+        );
+    }
+}
+
+/// Union-find connectivity of `g` restricted to live routers and links.
+fn live_subgraph_connected(
+    g: &Csr,
+    down_links: &std::collections::BTreeSet<(u32, u32)>,
+    down_routers: &std::collections::BTreeSet<u32>,
+) -> bool {
+    let n = g.vertex_count();
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], mut v: u32) -> u32 {
+        while parent[v as usize] != v {
+            parent[v as usize] = parent[parent[v as usize] as usize];
+            v = parent[v as usize];
+        }
+        v
+    }
+    for &(u, v) in g.edges() {
+        if down_links.contains(&(u, v)) || down_routers.contains(&u) || down_routers.contains(&v) {
+            continue;
+        }
+        let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+        if ru != rv {
+            parent[ru as usize] = rv;
+        }
+    }
+    let mut live_root = None;
+    for v in 0..n as u32 {
+        if down_routers.contains(&v) {
+            continue;
+        }
+        let r = find(&mut parent, v);
+        match live_root {
+            None => live_root = Some(r),
+            Some(lr) if lr != r => return false,
+            _ => {}
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::PolarFlyTopo;
+
+    #[test]
+    fn transient_preserves_structure_and_advertises_schedule() {
+        let pf = PolarFlyTopo::new(7, 4).unwrap();
+        let s = FaultSchedule::sample_connected_links(pf.graph(), 0.08, 300, 200, 5);
+        assert!(!s.is_empty());
+        let t = TransientTopo::new(&pf, s.clone());
+        assert_eq!(t.router_count(), 57);
+        assert_eq!(t.total_endpoints(), 57 * 4);
+        assert_eq!(t.graph().edge_count(), pf.graph().edge_count());
+        assert!(matches!(t.routing_hint(), RoutingHint::PolarFly(_)));
+        assert_eq!(t.fault_schedule().unwrap(), &s);
+        assert!(t.name().contains("PF(q=7,p=4)~transient"));
+        // Healthy topologies advertise no schedule.
+        assert!(pf.fault_schedule().is_none());
+    }
+
+    #[test]
+    fn initial_state_matches_cycle_zero() {
+        let pf = PolarFlyTopo::new(5, 2).unwrap();
+        let (u, v) = pf.graph().edges()[3];
+        // One link already down at cycle 0, another failing later.
+        let (a, b) = pf.graph().edges()[10];
+        let s = FaultSchedule::new()
+            .link_fault(u, v, 0, 500)
+            .link_fault(a, b, 200, 400);
+        let t = TransientTopo::new(&pf, s);
+        let init = t.link_failures().expect("link down at cycle 0");
+        assert_eq!(init.len(), 1);
+        assert!(init.contains(u, v));
+        assert!(!init.contains(a, b));
+        // A schedule that starts healthy advertises no initial failures.
+        let s2 = FaultSchedule::new().link_fault(u, v, 100, 200);
+        let t2 = TransientTopo::new(&pf, s2);
+        assert!(t2.link_failures().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "disconnects the live network")]
+    fn rejects_schedules_that_disconnect() {
+        let pf = PolarFlyTopo::new(5, 2).unwrap();
+        // Cut vertex 0 off entirely via link faults (no router-down, so
+        // vertex 0 stays "live" but unreachable).
+        let mut s = FaultSchedule::new();
+        for &w in pf.graph().neighbors(0) {
+            s = s.link_fault(0, w, 50, 150);
+        }
+        TransientTopo::new(&pf, s);
+    }
+
+    #[test]
+    fn wrapping_a_degraded_topo_keeps_its_static_failures() {
+        use crate::degraded::DegradedTopo;
+        let pf = PolarFlyTopo::new(7, 4).unwrap();
+        let static_failures = FailureSet::sample_connected(pf.graph(), 0.05, 8);
+        assert!(!static_failures.is_empty());
+        let degraded = DegradedTopo::new(&pf, static_failures.clone());
+        // A blip on a link that is NOT statically failed.
+        let (u, v) = *pf
+            .graph()
+            .edges()
+            .iter()
+            .find(|&&(u, v)| !static_failures.contains(u, v))
+            .unwrap();
+        let t = TransientTopo::new(&degraded, FaultSchedule::new().link_fault(u, v, 0, 100));
+        let init = t.link_failures().unwrap();
+        // Cycle-0 state = static failures ∪ scheduled cycle-0 faults.
+        assert_eq!(init.len(), static_failures.len() + 1);
+        assert!(init.contains(u, v));
+        for &(a, b) in static_failures.edges() {
+            assert!(init.contains(a, b), "static failure {a}-{b} dropped");
+        }
+    }
+
+    #[test]
+    fn router_blip_is_accepted_when_survivors_stay_connected() {
+        // ER_q minus one vertex stays connected: a router fault window is
+        // a valid transient schedule even though it isolates the router's
+        // own endpoint for the duration.
+        let pf = PolarFlyTopo::new(5, 2).unwrap();
+        let s = FaultSchedule::new().router_fault(3, 100, 300);
+        let t = TransientTopo::new(&pf, s);
+        assert!(t.link_failures().is_none());
+        assert_eq!(t.schedule().routers_down_at(150), vec![3]);
+    }
+}
