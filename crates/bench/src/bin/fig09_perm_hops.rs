@@ -16,7 +16,7 @@ fn main() {
     // Permutations cap near 1/p with MIN; sweep the low-load range densely.
     let loads: Vec<f64> = load_points().iter().map(|l| l * 0.7).collect();
     for pattern in [TrafficPattern::Perm2Hop, TrafficPattern::Perm1Hop] {
-        println!("=== Figure 9: {} ===\n", pattern.label());
+        println!("=== Figure 9: {pattern} ===\n");
         for routing in [Routing::Min, Routing::Ugal, Routing::UgalPf] {
             let curve = load_curve(&topo, routing, pattern, &loads, &cfg);
             print_curve_rows(&curve);

@@ -24,8 +24,9 @@
 //! packets fail to drain, and at 10% load congestion cannot explain that
 //! — only a routing bug (misroute, livelock, dead-link traversal) can.
 
+use pf_bench::jsonl::Row;
 use pf_graph::FailureSet;
-use pf_sim::{load_curve, LoadCurve, Routing, SimConfig, TrafficPattern};
+use pf_sim::{load_curve, Routing, SimConfig, TrafficPattern};
 use pf_topo::{DegradedTopo, PolarFlyTopo, SlimFly, Topology};
 
 /// Failure seed: one draw per (topology, ratio), shared by both routings
@@ -66,7 +67,8 @@ fn main() {
     let routings = [Routing::Min, Routing::UgalPf];
 
     println!("Resilience sweep — latency under live link failures (uniform traffic)");
-    println!("(a curve failing to deliver everything at its lowest load is a routing bug)\n");
+    println!("(a curve failing to deliver everything at its lowest load is a routing bug;");
+    println!(" data rows are JSON lines — filter with `grep '^{{'`)\n");
 
     let mut broken_curves = 0usize;
     for topo in &topos {
@@ -75,7 +77,15 @@ fn main() {
             let degraded = DegradedTopo::new(topo.as_ref(), failures);
             for routing in routings {
                 let curve = load_curve(&degraded, routing, TrafficPattern::Uniform, &loads, &cfg);
-                print_resilience_curve(&curve);
+                for p in &curve.points {
+                    Row::new("resilience")
+                        .str("topology", &curve.topology)
+                        .str("routing", curve.routing)
+                        .str("pattern", curve.pattern)
+                        .f64("failure_ratio", ratio)
+                        .sim_result(p)
+                        .emit();
+                }
                 // `saturated` is set exactly when packets failed to drain;
                 // at the lowest offered load that can only be a routing
                 // bug, never congestion.
@@ -95,32 +105,4 @@ fn main() {
         std::process::exit(1);
     }
     println!("OK: every curve delivered all packets at its lowest offered load");
-}
-
-/// Prints one curve with the delivery-ratio column.
-fn print_resilience_curve(curve: &LoadCurve) {
-    println!(
-        "# {} / {} / {}",
-        curve.topology, curve.routing, curve.pattern
-    );
-    println!(
-        "{:>8} {:>10} {:>12} {:>10} {:>9} {:>6}",
-        "offered", "accepted", "avg_latency", "p99", "delivery", "sat"
-    );
-    for p in &curve.points {
-        println!(
-            "{:8.3} {:10.4} {:12.2} {:10.1} {:9.3} {:>6}",
-            p.offered_load,
-            p.accepted_load,
-            p.avg_latency,
-            p.p99_latency,
-            p.delivery_ratio(),
-            if p.saturated { "SAT" } else { "-" }
-        );
-    }
-    println!(
-        "# saturation_throughput = {:.4}, zero_load_latency = {:.1}\n",
-        curve.saturation_throughput(),
-        curve.zero_load_latency()
-    );
 }

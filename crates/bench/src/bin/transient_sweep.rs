@@ -27,6 +27,7 @@
 //!   under drop-and-retransmit, or no table swap in a faulted run —
 //!   a vacuous sweep is a broken sweep).
 
+use pf_bench::jsonl::Row;
 use pf_graph::FaultSchedule;
 use pf_sim::{load_curve, InFlightPolicy, Routing, SimConfig, TrafficPattern};
 use pf_topo::{PolarFlyTopo, SlimFly, Topology, TransientTopo};
@@ -106,22 +107,8 @@ fn main() {
 
     println!("Transient-fault sweep — MTBF × repair × load, uniform traffic");
     println!("(delivery must return to 1.0 after repair; no flit on a down link;");
-    println!(" no VC-class clamp in the stale-table window)\n");
-    println!(
-        "{:<16} {:<7} {:<6} {:>9} {:>7} {:>6} {:>9} {:>8} {:>8} {:>6} {:>6} {:>7}",
-        "topology",
-        "routing",
-        "policy",
-        "mtbf",
-        "repair",
-        "load",
-        "delivery",
-        "latency",
-        "retrans",
-        "drop",
-        "swaps",
-        "status"
-    );
+    println!(" no VC-class clamp in the stale-table window;");
+    println!(" data rows are JSON lines — filter with `grep '^{{'`)\n");
 
     let mut broken = 0usize;
     let mut retransmissions = 0u64;
@@ -160,24 +147,22 @@ fn main() {
                             }
                             retransmissions += p.retransmitted_packets;
                             swaps_seen += p.table_swaps;
-                            println!(
-                                "{:<16} {:<7} {:<6} {:>9.0} {:>7} {:>6.2} {:>9.4} {:>8.1} {:>8} {:>6} {:>6} {:>7}",
-                                topo.name(),
-                                curve.routing,
-                                match policy {
-                                    InFlightPolicy::DropRetransmit => "drop",
-                                    InFlightPolicy::Drain => "drain",
-                                },
-                                mtbf,
-                                repair,
-                                p.offered_load,
-                                p.delivery_ratio(),
-                                p.avg_latency,
-                                p.retransmitted_packets,
-                                p.dropped_flits,
-                                p.table_swaps,
-                                if ok { "ok" } else { "BROKEN" }
-                            );
+                            Row::new("transient")
+                                .str("topology", &topo.name())
+                                .str("routing", curve.routing)
+                                .str(
+                                    "policy",
+                                    match policy {
+                                        InFlightPolicy::DropRetransmit => "drop",
+                                        InFlightPolicy::Drain => "drain",
+                                    },
+                                )
+                                .f64("mtbf", mtbf)
+                                .u64("repair", u64::from(repair))
+                                .u64("faults", faults as u64)
+                                .sim_result(p)
+                                .bool("ok", ok)
+                                .emit();
                             if !delivered_all {
                                 eprintln!(
                                     "BROKEN: {} / {} / {:?} mtbf={mtbf} repair={repair} \

@@ -11,6 +11,8 @@
 //! * **`PF_FULL=1`** — the paper's exact Table V configurations
 //!   (~1 000 routers) and full warmup/measurement windows.
 
+pub mod jsonl;
+
 use pf_sim::engine::SimConfig;
 use pf_topo::{Dragonfly, FatTree, Jellyfish, PolarFlyTopo, SlimFly, Topology};
 

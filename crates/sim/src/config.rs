@@ -72,6 +72,11 @@ pub struct SimConfig {
     /// old route tables keep serving for this long before the rebuilt
     /// tables swap in atomically.
     pub convergence_delay: u32,
+    /// Hard stop (cycles) for closed-loop workload runs
+    /// (`Engine::run_workload`): a job DAG that has not drained by this
+    /// cycle is reported unfinished (`SimResult::saturated`) instead of
+    /// spinning forever. Ignored by open-loop runs.
+    pub workload_deadline: u32,
 }
 
 impl Default for SimConfig {
@@ -93,6 +98,7 @@ impl Default for SimConfig {
             gen_cutoff: u32::MAX,
             fault_policy: InFlightPolicy::DropRetransmit,
             convergence_delay: 200,
+            workload_deadline: 1_000_000,
         }
     }
 }
@@ -150,6 +156,8 @@ impl SimConfig {
         fault_policy: InFlightPolicy,
         /// Sets the table re-convergence delay (cycles).
         convergence_delay: u32,
+        /// Sets the closed-loop workload deadline (cycles).
+        workload_deadline: u32,
     }
 
     /// Total virtual channels per port.

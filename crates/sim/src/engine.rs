@@ -13,6 +13,7 @@
 pub use crate::config::SimConfig;
 
 use crate::alloc::Req;
+use crate::drive::WorkloadDriver;
 use crate::faults::FaultCtl;
 use crate::flow::LinkPipeline;
 use crate::packet::PacketPool;
@@ -113,6 +114,10 @@ pub struct Engine<'a> {
     /// counts, re-convergence state, and fault counters. Inert (empty)
     /// unless `transient`.
     pub(crate) faults: FaultCtl,
+    /// Closed-loop workload driver, replacing the Bernoulli generator
+    /// when attached ([`Engine::attach_workload`]); `None` leaves the
+    /// open-loop path untouched.
+    pub(crate) workload: Option<WorkloadDriver>,
 
     /// All (port, VC) input buffers as flat SoA ring buffers.
     pub(crate) bufs: FlitRings,
@@ -305,6 +310,7 @@ impl<'a> Engine<'a> {
             degraded,
             transient,
             faults,
+            workload: None,
             bufs: FlitRings::new(queues, cap_per_vc),
             credits: vec![cap_per_vc; queues],
             route_port: vec![NONE32; queues],
@@ -342,8 +348,48 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// Packs the result fields shared by the open- and closed-loop run
+    /// loops (latency statistics, packet counts, fault counters); the
+    /// callers fill in only the loop-specific load/saturation/job
+    /// fields. One construction site keeps future counters from
+    /// silently diverging between the two result packs.
+    fn pack_result(
+        &mut self,
+        offered_load: f64,
+        accepted_load: f64,
+        saturated: bool,
+        jobs: Vec<crate::stats::JobResult>,
+    ) -> SimResult {
+        let mut stats = std::mem::take(&mut self.stats);
+        SimResult {
+            offered_load,
+            accepted_load,
+            avg_latency: stats.mean(),
+            p99_latency: stats.percentile(0.99),
+            avg_hops: stats.mean_hops(),
+            generated: self.measured_generated,
+            delivered: self.measured_delivered,
+            saturated,
+            dropped_flits: self.faults.dropped_flits,
+            retransmitted_packets: self.faults.retransmitted_packets,
+            table_swaps: self.faults.table_swaps,
+            down_link_flits: self.faults.down_link_flits,
+            vc_class_clamps: self.diag_class_clamps,
+            jobs,
+        }
+    }
+
     /// Runs warmup + measurement + drain and reports the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a workload is attached — a closed-loop run terminates
+    /// on DAG drain, not the phase clock; use [`Engine::run_workload`].
     pub fn run(mut self) -> SimResult {
+        assert!(
+            self.workload.is_none(),
+            "run() with a workload attached: use run_workload()"
+        );
         let steady = self.clock.steady_end();
         let deadline = self.clock.deadline();
         loop {
@@ -356,23 +402,54 @@ impl<'a> Engine<'a> {
             }
         }
         let saturated = self.measured_delivered < self.measured_generated;
-        let mut stats = self.stats;
-        SimResult {
-            offered_load: self.load,
-            accepted_load: self.window_flits_ejected as f64
-                / (f64::from(self.clock.measure) * self.topo.total_endpoints() as f64),
-            avg_latency: stats.mean(),
-            p99_latency: stats.percentile(0.99),
-            avg_hops: stats.mean_hops(),
-            generated: self.measured_generated,
-            delivered: self.measured_delivered,
-            saturated,
-            dropped_flits: self.faults.dropped_flits,
-            retransmitted_packets: self.faults.retransmitted_packets,
-            table_swaps: self.faults.table_swaps,
-            down_link_flits: self.faults.down_link_flits,
-            vc_class_clamps: self.diag_class_clamps,
+        let accepted = self.window_flits_ejected as f64
+            / (f64::from(self.clock.measure) * self.topo.total_endpoints() as f64);
+        self.pack_result(self.load, accepted, saturated, Vec::new())
+    }
+
+    /// Attaches a closed-loop workload driver: from now on the engine
+    /// injects the driver's task-DAG releases instead of Bernoulli
+    /// traffic (the driver must have been built against this engine's
+    /// topology and `packet_flits`). Build the engine at offered load
+    /// 0.0 — the load parameter has no meaning closed-loop.
+    pub fn attach_workload(&mut self, driver: WorkloadDriver) {
+        self.workload = Some(driver);
+    }
+
+    /// Runs the attached workload to completion (every job's DAG
+    /// drained) or to [`SimConfig::workload_deadline`], whichever comes
+    /// first, and reports per-job makespans in [`SimResult::jobs`].
+    ///
+    /// Closed-loop semantics of the shared fields: `generated` /
+    /// `delivered` count workload packets (conservation: equal on a
+    /// completed run), `avg_latency` is per-packet
+    /// generation-to-tail-ejection over all workload packets,
+    /// `accepted_load` is delivered payload flits per endpoint-cycle
+    /// over the makespan, and `saturated` flags a deadline expiry —
+    /// an unfinished (wedged or too-slow) workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no workload was attached.
+    pub fn run_workload(mut self) -> SimResult {
+        assert!(
+            self.workload.is_some(),
+            "run_workload without attach_workload"
+        );
+        let deadline = self.cfg.workload_deadline;
+        loop {
+            self.step();
+            if self.workload.as_ref().unwrap().done() || self.cycle >= deadline {
+                break;
+            }
         }
+        let driver = self.workload.take().unwrap();
+        let makespan = driver.global_makespan();
+        let payload = driver.delivered_payload_flits();
+        let accepted = makespan.map_or(0.0, |m| {
+            payload as f64 / (f64::from(m.max(1)) * self.topo.total_endpoints() as f64)
+        });
+        self.pack_result(0.0, accepted, makespan.is_none(), driver.results())
     }
 
     /// Advances one cycle.
@@ -396,8 +473,12 @@ impl<'a> Engine<'a> {
         }
         self.pipeline.recycle(cycle, arrivals);
 
-        // 2. Packet generation (Bernoulli per endpoint).
-        if cycle < self.cfg.gen_cutoff {
+        // 2. Packet generation: closed-loop task-DAG releases when a
+        //    workload is attached, the open-loop Bernoulli process
+        //    otherwise (identical to the pre-workload engine).
+        if self.workload.is_some() {
+            self.workload_release(cycle);
+        } else if cycle < self.cfg.gen_cutoff {
             self.generate(cycle);
         }
 

@@ -21,7 +21,6 @@ impl Engine<'_> {
     pub(crate) fn generate(&mut self, cycle: u32) {
         let prob = self.load / f64::from(self.cfg.packet_flits);
         let measured_window = self.clock.in_measurement(cycle);
-        let mh = self.min_hop;
         for r in 0..self.n as u32 {
             if self.transient && !self.faults.router_up[r as usize] {
                 continue;
@@ -32,28 +31,54 @@ impl Engine<'_> {
                 }
                 let dst = self.dests.pick(r, &mut self.rng);
                 debug_assert_ne!(dst, r);
-                // Charge the minimal first-hop link's virtual output
-                // queue while the packet waits at the source (held
-                // unroutable packets carry no charge until they can move).
-                let min_first_link = if self.dst_routable(r, dst) {
-                    let next = mh.next(&net_view!(self), r, dst);
-                    let i = net_view!(self).neighbor_index(r, next);
-                    let link = self.geom.downstream(r, i);
-                    self.inj_wait[link as usize] += 1;
-                    link
-                } else {
-                    NONE32
-                };
-                let id = self
-                    .packets
-                    .alloc(r, dst, cycle, measured_window, min_first_link);
-                self.src_q.push(r as usize, id);
-                self.total_generated += 1;
-                if measured_window {
-                    self.measured_generated += 1;
-                }
+                self.admit_packet(r, dst, cycle, measured_window);
             }
         }
+    }
+
+    /// Admits one packet into router `r`'s source queue: charges the
+    /// minimal first-hop link's virtual output queue while the packet
+    /// waits at the source (held unroutable packets carry no charge
+    /// until they can move), allocates the record, and bumps the
+    /// generation counters. Shared by the Bernoulli generator and the
+    /// closed-loop workload release path.
+    pub(crate) fn admit_packet(&mut self, r: u32, dst: u32, cycle: u32, measured: bool) -> u32 {
+        let mh = self.min_hop;
+        let min_first_link = if self.dst_routable(r, dst) {
+            let next = mh.next(&net_view!(self), r, dst);
+            let i = net_view!(self).neighbor_index(r, next);
+            let link = self.geom.downstream(r, i);
+            self.inj_wait[link as usize] += 1;
+            link
+        } else {
+            NONE32
+        };
+        let id = self.packets.alloc(r, dst, cycle, measured, min_first_link);
+        self.src_q.push(r as usize, id);
+        self.total_generated += 1;
+        if measured {
+            self.measured_generated += 1;
+        }
+        id
+    }
+
+    /// Closed-loop generation: polls the workload driver for task
+    /// releases due this cycle and admits their packets (all measured —
+    /// the whole run is the measurement). A down source router does not
+    /// gate the release: the packets queue at the source and inject
+    /// once it repairs, exactly like retransmitted victims.
+    pub(crate) fn workload_release(&mut self, cycle: u32) {
+        let mut driver = self
+            .workload
+            .take()
+            .expect("workload_release without driver");
+        for rel in driver.poll(cycle) {
+            for _ in 0..rel.packets {
+                let id = self.admit_packet(rel.src, rel.dst, cycle, true);
+                driver.register_packet(id, rel.job, rel.msg);
+            }
+        }
+        self.workload = Some(driver);
     }
 
     /// Ejection: up to `endpoints(r)` flits/cycle leave the network at
@@ -95,6 +120,13 @@ impl Engine<'_> {
                     }
                     if seq == self.cfg.packet_flits - 1 {
                         self.total_delivered += 1;
+                        // Per-packet completion callback: the workload
+                        // driver counts the message delivered once all
+                        // of its packets have ejected, unblocking the
+                        // tasks that receive it.
+                        if let Some(w) = self.workload.as_mut() {
+                            w.on_packet_delivered(pkt, cycle);
+                        }
                         if self.packets.measured[pkt as usize] {
                             self.measured_delivered += 1;
                             let latency = cycle - self.packets.birth[pkt as usize] + 1;

@@ -40,6 +40,10 @@
 //! The engine is decomposed along router-microarchitecture lines:
 //!
 //! * [`engine`] — the [`Engine`] state and per-cycle orchestration;
+//! * [`drive`] — the closed-loop [`WorkloadDriver`]: `pf_workload`
+//!   task DAGs as a second injection source next to Bernoulli, advanced
+//!   by per-packet completion callbacks and terminated when every job's
+//!   DAG drains (per-job makespans in [`SimResult::jobs`]);
 //! * [`faults`] — the transient-fault event queue, in-flight-flit
 //!   policies, and staged table re-convergence;
 //! * [`router`] — per-router state as flat structure-of-arrays ring
@@ -73,6 +77,7 @@
 pub mod alloc;
 pub mod analytic;
 pub mod config;
+pub mod drive;
 pub mod engine;
 pub mod faults;
 pub mod flow;
@@ -89,11 +94,12 @@ pub mod traffic;
 
 pub use analytic::{analyze, FluidAnalysis};
 pub use config::{InFlightPolicy, SimConfig};
+pub use drive::{simulate_workload, WorkloadDriver};
 pub use engine::{simulate, Engine};
 pub use phase::{PhaseClock, SimPhase};
 pub use router::FlitRings;
 pub use routing::{HopContext, MinHop, NetState, Port, RoutePlan, RoutingAlgorithm};
-pub use stats::SimResult;
+pub use stats::{JobResult, PhaseResult, SimResult};
 pub use sweep::{load_curve, load_grid, LoadCurve};
 pub use tables::RouteTables;
 pub use traffic::TrafficPattern;

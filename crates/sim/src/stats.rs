@@ -39,6 +39,48 @@ pub struct SimResult {
     /// argument for that packet). Must stay 0 in a correctly provisioned
     /// run; fault sweeps assert it.
     pub vc_class_clamps: u64,
+    /// Per-job completion results of a closed-loop workload run
+    /// ([`crate::Engine::run_workload`]); empty on open-loop Bernoulli
+    /// runs, whose behavior and fields are unchanged.
+    pub jobs: Vec<JobResult>,
+}
+
+/// Completion outcome of one closed-loop job (see `pf_sim::drive`).
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// Workload display name (generator + parameters).
+    pub name: String,
+    /// Ranks the job ran over.
+    pub ranks: u32,
+    /// Elapsed cycles from run start to the job's last event (all tasks
+    /// fired, all messages delivered); `None` if the run's deadline
+    /// expired first.
+    pub makespan: Option<u32>,
+    /// Messages the workload defines.
+    pub messages: u64,
+    /// Messages fully delivered (== `messages` when `makespan` is set).
+    pub messages_delivered: u64,
+    /// Total payload flits across all messages.
+    pub payload_flits: u64,
+    /// Algorithmic bandwidth: `payload_flits / makespan` (flits per
+    /// cycle, aggregate over the job; 0 if unfinished).
+    pub alg_bandwidth: f64,
+    /// Per-phase latency breakdown, ascending by phase tag.
+    pub phases: Vec<PhaseResult>,
+}
+
+/// Observed span of one workload phase (tasks and message deliveries
+/// sharing the phase tag).
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseResult {
+    /// The phase tag the workload generator assigned.
+    pub phase: u32,
+    /// Cycle of the phase's first event (a task firing).
+    pub start: u32,
+    /// Cycle of the phase's last event (a firing or delivery).
+    pub end: u32,
+    /// Messages delivered under this phase tag.
+    pub messages: u64,
 }
 
 impl SimResult {

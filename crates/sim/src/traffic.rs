@@ -42,8 +42,15 @@ pub enum TrafficPattern {
     Shuffle,
 }
 
+impl std::fmt::Display for TrafficPattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 impl TrafficPattern {
-    /// Short label used in result tables.
+    /// Short label used in result tables (also the [`std::fmt::Display`]
+    /// form; keep `label()` where a `&'static str` is needed).
     pub fn label(&self) -> &'static str {
         match self {
             TrafficPattern::Uniform => "uniform",

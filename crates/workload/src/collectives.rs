@@ -1,0 +1,209 @@
+//! Collective-communication workloads: ring and recursive-doubling
+//! allreduce, and all-to-all personalized exchange.
+//!
+//! Each generator compiles the collective's communication schedule into
+//! a [`Workload`] DAG: one task per (rank, step) whose receives are the
+//! exact messages the algorithm waits on at that step. Every message is
+//! consumed by a receive — the final step of each rank is a "finish"
+//! task that waits for the last in-flight data, so a drained DAG means
+//! the collective semantically completed, not merely that the network
+//! emptied.
+
+use crate::dag::{MsgId, TaskId, Workload, WorkloadBuilder};
+
+/// Ring allreduce over `ranks` ranks: `2·(ranks − 1)` steps (the
+/// reduce-scatter ring followed by the allgather ring), each step
+/// sending one `chunk_flits` chunk to the next rank around the ring and
+/// waiting on the chunk from the previous rank. `compute` cycles of
+/// local reduction separate a step's arrival from the next send.
+///
+/// Panics if `ranks < 2` or `chunk_flits == 0`.
+pub fn ring_allreduce(ranks: u32, chunk_flits: u32, compute: u32) -> Workload {
+    assert!(ranks >= 2, "ring allreduce needs at least 2 ranks");
+    assert!(chunk_flits > 0, "chunk size must be positive");
+    let mut b = WorkloadBuilder::new(format!("ring_allreduce(r={ranks},c={chunk_flits})"), ranks);
+    let steps = 2 * (ranks - 1);
+    // msg_from[i] = the message rank i sent in the previous step.
+    let mut prev_msg: Vec<MsgId> = Vec::new();
+    let mut prev_task: Vec<TaskId> = Vec::new();
+    for s in 0..steps {
+        let mut cur_msg = Vec::with_capacity(ranks as usize);
+        let mut cur_task = Vec::with_capacity(ranks as usize);
+        for i in 0..ranks {
+            let t = b.task(i, compute, s);
+            if s > 0 {
+                b.after(t, prev_task[i as usize]);
+                b.recv(t, prev_msg[((i + ranks - 1) % ranks) as usize]);
+            }
+            let m = b.send(t, (i + 1) % ranks, chunk_flits);
+            cur_msg.push(m);
+            cur_task.push(t);
+        }
+        prev_msg = cur_msg;
+        prev_task = cur_task;
+    }
+    // Finish: each rank absorbs the last chunk of the allgather ring.
+    for i in 0..ranks {
+        let t = b.task(i, 0, steps);
+        b.after(t, prev_task[i as usize]);
+        b.recv(t, prev_msg[((i + ranks - 1) % ranks) as usize]);
+    }
+    b.build()
+}
+
+/// Recursive-doubling allreduce over `ranks` ranks exchanging the full
+/// `msg_flits` vector each round. Non-power-of-two rank counts use the
+/// standard fold: the `ranks − 2^⌊log₂ ranks⌋` extra ranks send their
+/// contribution to a core partner up front and receive the result back
+/// at the end, while the `2^⌊log₂ ranks⌋` core ranks run `log₂` pairwise
+/// exchange rounds (partner `i ⊕ 2ᵏ` at round `k`).
+///
+/// Panics if `ranks < 2` or `msg_flits == 0`.
+pub fn recursive_doubling_allreduce(ranks: u32, msg_flits: u32, compute: u32) -> Workload {
+    assert!(ranks >= 2, "recursive doubling needs at least 2 ranks");
+    assert!(msg_flits > 0, "message size must be positive");
+    let p2 = 1u32 << (31 - ranks.leading_zeros()); // largest power of two ≤ ranks
+    let rem = ranks - p2;
+    let rounds = p2.trailing_zeros(); // log2(p2) ≥ 1 since ranks ≥ 2
+    let mut b = WorkloadBuilder::new(format!("recdoub_allreduce(r={ranks},m={msg_flits})"), ranks);
+
+    // Fold-in: extra rank p2+j contributes to core rank j (phase 0).
+    let mut pre_msg: Vec<MsgId> = Vec::with_capacity(rem as usize);
+    for j in 0..rem {
+        let t = b.task(p2 + j, compute, 0);
+        pre_msg.push(b.send(t, j, msg_flits));
+    }
+
+    // Pairwise exchange rounds among the core ranks (phases 1..=rounds).
+    let mut prev_msg: Vec<MsgId> = vec![0; p2 as usize];
+    let mut prev_task: Vec<TaskId> = vec![0; p2 as usize];
+    for k in 0..rounds {
+        let mut cur_msg = vec![0; p2 as usize];
+        let mut cur_task = vec![0; p2 as usize];
+        for i in 0..p2 {
+            let partner = i ^ (1 << k);
+            let t = b.task(i, compute, 1 + k);
+            if k == 0 {
+                if i < rem {
+                    b.recv(t, pre_msg[i as usize]);
+                }
+            } else {
+                b.after(t, prev_task[i as usize]);
+                b.recv(t, prev_msg[(i ^ (1 << (k - 1))) as usize]);
+            }
+            cur_msg[i as usize] = b.send(t, partner, msg_flits);
+            cur_task[i as usize] = t;
+        }
+        prev_msg = cur_msg;
+        prev_task = cur_task;
+    }
+
+    // Finish: absorb the last round's partner message; fold the result
+    // back out to the extra ranks (phases rounds+1, rounds+2).
+    let mut post_msg: Vec<MsgId> = Vec::with_capacity(rem as usize);
+    for i in 0..p2 {
+        let t = b.task(i, compute, 1 + rounds);
+        b.after(t, prev_task[i as usize]);
+        b.recv(t, prev_msg[(i ^ (1 << (rounds - 1))) as usize]);
+        if i < rem {
+            post_msg.push(b.send(t, p2 + i, msg_flits));
+        }
+    }
+    for j in 0..rem {
+        let t = b.task(p2 + j, 0, 2 + rounds);
+        b.recv(t, post_msg[j as usize]);
+    }
+    b.build()
+}
+
+/// All-to-all personalized exchange over `ranks` ranks: `ranks − 1`
+/// rounds, rank `i` sending `msg_flits` to rank `(i + k + 1) mod ranks`
+/// at round `k` (the classic rotation that spreads incast). Sends are
+/// chained locally; a final task per rank waits for all `ranks − 1`
+/// incoming messages.
+///
+/// Panics if `ranks < 2` or `msg_flits == 0`.
+pub fn all_to_all(ranks: u32, msg_flits: u32, compute: u32) -> Workload {
+    assert!(ranks >= 2, "all-to-all needs at least 2 ranks");
+    assert!(msg_flits > 0, "message size must be positive");
+    let mut b = WorkloadBuilder::new(format!("all_to_all(r={ranks},m={msg_flits})"), ranks);
+    let mut inbound: Vec<Vec<MsgId>> = vec![Vec::new(); ranks as usize];
+    let mut prev_task: Vec<TaskId> = vec![0; ranks as usize];
+    for k in 0..ranks - 1 {
+        for i in 0..ranks {
+            let t = b.task(i, compute, k);
+            if k > 0 {
+                b.after(t, prev_task[i as usize]);
+            }
+            let dst = (i + k + 1) % ranks;
+            let m = b.send(t, dst, msg_flits);
+            inbound[dst as usize].push(m);
+            prev_task[i as usize] = t;
+        }
+    }
+    for i in 0..ranks {
+        let t = b.task(i, 0, ranks - 1);
+        b.after(t, prev_task[i as usize]);
+        for &m in &inbound[i as usize] {
+            b.recv(t, m);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_allreduce_shape() {
+        for r in [2u32, 3, 5, 8] {
+            let w = ring_allreduce(r, 16, 4);
+            w.validate().unwrap();
+            assert_eq!(w.hosts, r);
+            // 2(R−1) steps of R messages each.
+            assert_eq!(w.messages, 2 * (r - 1) * r);
+            assert_eq!(w.total_flits(), u64::from(2 * (r - 1) * r * 16));
+        }
+    }
+
+    #[test]
+    fn recursive_doubling_power_of_two() {
+        let w = recursive_doubling_allreduce(8, 32, 0);
+        w.validate().unwrap();
+        // 3 rounds × 8 messages, no fold.
+        assert_eq!(w.messages, 24);
+    }
+
+    #[test]
+    fn recursive_doubling_non_power_of_two() {
+        for r in [3u32, 5, 6, 7, 12] {
+            let w = recursive_doubling_allreduce(r, 8, 2);
+            w.validate().unwrap();
+            let p2 = 1u32 << (31 - r.leading_zeros());
+            let rem = r - p2;
+            let rounds = p2.trailing_zeros();
+            assert_eq!(w.messages, 2 * rem + rounds * p2, "ranks={r}");
+        }
+    }
+
+    #[test]
+    fn all_to_all_every_pair_communicates() {
+        let r = 6u32;
+        let w = all_to_all(r, 4, 0);
+        w.validate().unwrap();
+        assert_eq!(w.messages, r * (r - 1));
+        // Each ordered pair appears exactly once.
+        let mut pair = vec![false; (r * r) as usize];
+        for (src, dst, _) in w.message_table() {
+            assert!(!pair[(src * r + dst) as usize]);
+            pair[(src * r + dst) as usize] = true;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 ranks")]
+    fn single_rank_collective_is_rejected() {
+        ring_allreduce(1, 4, 0);
+    }
+}

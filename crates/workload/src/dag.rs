@@ -1,0 +1,360 @@
+//! The per-host task DAG an application workload compiles to.
+//!
+//! A [`Workload`] is a set of [`Task`]s over `hosts` logical ranks. A
+//! task becomes *ready* when every predecessor in [`Task::after`] has
+//! fired and every message in [`Task::recvs`] has fully arrived at the
+//! task's host; `compute` cycles later it *fires*, issuing its
+//! [`SendSpec`]s as network messages. The driver layer (`pf_sim`) maps
+//! ranks to routers, turns messages into packets, and advances the DAG
+//! on per-packet completion callbacks; a job is complete when every
+//! task has fired and every message has been delivered.
+//!
+//! Message identity is explicit: each [`SendSpec`] carries a [`MsgId`]
+//! unique within the workload, and a receive dependency names the
+//! message it waits for — there is no tag matching. The
+//! [`WorkloadBuilder`] hands out ids; [`Workload::validate`] checks the
+//! wiring (every receive matched by exactly one send addressed to the
+//! receiving host) and that the whole DAG is schedulable (acyclic
+//! across both `after` edges and send→receive edges).
+
+/// Index of a task within its [`Workload`].
+pub type TaskId = u32;
+/// Identity of a message within its [`Workload`].
+pub type MsgId = u32;
+
+/// One message issued when a task fires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SendSpec {
+    /// Destination rank (must differ from the sending task's host).
+    pub dst: u32,
+    /// Payload size in flits (≥ 1; the driver rounds up to whole
+    /// packets).
+    pub flits: u32,
+    /// Workload-unique message id receive dependencies refer to.
+    pub msg: MsgId,
+}
+
+/// One node of the per-host dependency DAG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Task {
+    /// Rank this task runs on.
+    pub host: u32,
+    /// Compute delay (cycles) between readiness and firing.
+    pub compute: u32,
+    /// Phase tag for the latency breakdown (e.g. collective step).
+    pub phase: u32,
+    /// Messages that must be fully delivered at `host` before readiness.
+    pub recvs: Vec<MsgId>,
+    /// Tasks that must have fired before readiness.
+    pub after: Vec<TaskId>,
+    /// Messages issued at firing.
+    pub sends: Vec<SendSpec>,
+}
+
+/// A complete application workload over `hosts` ranks.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Display name (generator + parameters).
+    pub name: String,
+    /// Number of ranks; tasks and sends address hosts `0..hosts`.
+    pub hosts: u32,
+    /// The task DAG.
+    pub tasks: Vec<Task>,
+    /// Total number of messages (`MsgId`s are `0..messages`).
+    pub messages: u32,
+}
+
+impl Workload {
+    /// Total payload flits across every message.
+    pub fn total_flits(&self) -> u64 {
+        self.tasks
+            .iter()
+            .flat_map(|t| &t.sends)
+            .map(|s| u64::from(s.flits))
+            .sum()
+    }
+
+    /// Per-message `(sender_host, dst_host, flits)`, indexed by [`MsgId`].
+    ///
+    /// Panics if a message id is out of range or sent twice — call
+    /// [`Workload::validate`] first for a diagnosable error.
+    pub fn message_table(&self) -> Vec<(u32, u32, u32)> {
+        let mut table = vec![(u32::MAX, u32::MAX, 0u32); self.messages as usize];
+        for t in &self.tasks {
+            for s in &t.sends {
+                let slot = &mut table[s.msg as usize];
+                assert_eq!(slot.0, u32::MAX, "message {} sent twice", s.msg);
+                *slot = (t.host, s.dst, s.flits);
+            }
+        }
+        table
+    }
+
+    /// Checks the DAG is well-formed and fully schedulable:
+    ///
+    /// * at least one task (a task-less job has no completion event and
+    ///   would spin a closed-loop run to its deadline);
+    /// * hosts and destinations in range, no self-sends, sizes ≥ 1;
+    /// * every [`MsgId`] in `0..messages` sent exactly once;
+    /// * every receive names an existing message addressed to the
+    ///   receiving task's host;
+    /// * the dependency graph (`after` edges plus send→receive edges)
+    ///   is acyclic, so a topological schedule exists.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.tasks.is_empty() {
+            return Err("workload has no tasks".into());
+        }
+        let n = self.tasks.len();
+        let mut sender: Vec<Option<TaskId>> = vec![None; self.messages as usize];
+        let mut dst_of: Vec<u32> = vec![u32::MAX; self.messages as usize];
+        for (ti, t) in self.tasks.iter().enumerate() {
+            if t.host >= self.hosts {
+                return Err(format!("task {ti}: host {} out of range", t.host));
+            }
+            for a in &t.after {
+                if *a as usize >= n {
+                    return Err(format!("task {ti}: after-dependency {a} out of range"));
+                }
+            }
+            for s in &t.sends {
+                if s.dst >= self.hosts {
+                    return Err(format!("task {ti}: send dst {} out of range", s.dst));
+                }
+                if s.dst == t.host {
+                    return Err(format!("task {ti}: self-send at host {}", t.host));
+                }
+                if s.flits == 0 {
+                    return Err(format!("task {ti}: zero-flit message {}", s.msg));
+                }
+                let Some(slot) = sender.get_mut(s.msg as usize) else {
+                    return Err(format!("task {ti}: message id {} out of range", s.msg));
+                };
+                if slot.is_some() {
+                    return Err(format!("message {} sent twice", s.msg));
+                }
+                *slot = Some(ti as TaskId);
+                dst_of[s.msg as usize] = s.dst;
+            }
+        }
+        for (m, s) in sender.iter().enumerate() {
+            if s.is_none() {
+                return Err(format!("message {m} is never sent"));
+            }
+        }
+        for (ti, t) in self.tasks.iter().enumerate() {
+            for &m in &t.recvs {
+                if m as usize >= sender.len() {
+                    return Err(format!("task {ti}: receive of unknown message {m}"));
+                }
+                if dst_of[m as usize] != t.host {
+                    return Err(format!(
+                        "task {ti} (host {}): receives message {m} addressed to host {}",
+                        t.host, dst_of[m as usize]
+                    ));
+                }
+            }
+        }
+
+        // Kahn's algorithm over after-edges and send→receive edges: every
+        // task must drain, or a dependency cycle makes the DAG unschedulable.
+        let mut indeg: Vec<u32> = vec![0; n];
+        let mut children: Vec<Vec<TaskId>> = vec![Vec::new(); n];
+        for (ti, t) in self.tasks.iter().enumerate() {
+            indeg[ti] += (t.after.len() + t.recvs.len()) as u32;
+            for &a in &t.after {
+                children[a as usize].push(ti as TaskId);
+            }
+            for &m in &t.recvs {
+                children[sender[m as usize].unwrap() as usize].push(ti as TaskId);
+            }
+        }
+        let mut ready: Vec<TaskId> = (0..n as TaskId)
+            .filter(|&t| indeg[t as usize] == 0)
+            .collect();
+        let mut scheduled = 0usize;
+        while let Some(t) = ready.pop() {
+            scheduled += 1;
+            for &c in &children[t as usize] {
+                indeg[c as usize] -= 1;
+                if indeg[c as usize] == 0 {
+                    ready.push(c);
+                }
+            }
+        }
+        if scheduled != n {
+            return Err(format!(
+                "dependency cycle: only {scheduled} of {n} tasks schedulable"
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Incremental [`Workload`] constructor used by every generator.
+///
+/// ```
+/// use pf_workload::WorkloadBuilder;
+///
+/// let mut b = WorkloadBuilder::new("ping-pong", 2);
+/// let ping = b.task(0, 0, 0);
+/// let m0 = b.send(ping, 1, 8);
+/// let pong = b.task(1, 5, 1);
+/// b.recv(pong, m0);
+/// b.send(pong, 0, 8);
+/// let w = b.build();
+/// assert_eq!(w.messages, 2);
+/// w.validate().unwrap();
+/// ```
+pub struct WorkloadBuilder {
+    name: String,
+    hosts: u32,
+    tasks: Vec<Task>,
+    next_msg: MsgId,
+}
+
+impl WorkloadBuilder {
+    /// Starts an empty workload over `hosts` ranks (≥ 2 for any
+    /// workload that communicates).
+    pub fn new(name: impl Into<String>, hosts: u32) -> WorkloadBuilder {
+        WorkloadBuilder {
+            name: name.into(),
+            hosts,
+            tasks: Vec::new(),
+            next_msg: 0,
+        }
+    }
+
+    /// Adds a task at `host` with the given compute delay and phase tag.
+    pub fn task(&mut self, host: u32, compute: u32, phase: u32) -> TaskId {
+        debug_assert!(host < self.hosts);
+        self.tasks.push(Task {
+            host,
+            compute,
+            phase,
+            recvs: Vec::new(),
+            after: Vec::new(),
+            sends: Vec::new(),
+        });
+        (self.tasks.len() - 1) as TaskId
+    }
+
+    /// Adds a send of `flits` flits to rank `dst` when `task` fires;
+    /// returns the new message's id.
+    pub fn send(&mut self, task: TaskId, dst: u32, flits: u32) -> MsgId {
+        let msg = self.next_msg;
+        self.next_msg += 1;
+        self.tasks[task as usize]
+            .sends
+            .push(SendSpec { dst, flits, msg });
+        msg
+    }
+
+    /// Makes `task` wait for message `msg` to be delivered at its host.
+    pub fn recv(&mut self, task: TaskId, msg: MsgId) {
+        self.tasks[task as usize].recvs.push(msg);
+    }
+
+    /// Makes `task` wait for `pred` to have fired.
+    pub fn after(&mut self, task: TaskId, pred: TaskId) {
+        self.tasks[task as usize].after.push(pred);
+    }
+
+    /// Finishes the workload (call [`Workload::validate`] to check it).
+    pub fn build(self) -> Workload {
+        Workload {
+            name: self.name,
+            hosts: self.hosts,
+            tasks: self.tasks,
+            messages: self.next_msg,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ping_pong() -> Workload {
+        let mut b = WorkloadBuilder::new("pp", 2);
+        let t0 = b.task(0, 0, 0);
+        let m = b.send(t0, 1, 4);
+        let t1 = b.task(1, 2, 1);
+        b.recv(t1, m);
+        b.send(t1, 0, 4);
+        b.build()
+    }
+
+    #[test]
+    fn builder_wires_a_valid_dag() {
+        let w = ping_pong();
+        assert_eq!(w.messages, 2);
+        assert_eq!(w.total_flits(), 8);
+        w.validate().unwrap();
+        let table = w.message_table();
+        assert_eq!(table[0], (0, 1, 4));
+        assert_eq!(table[1], (1, 0, 4));
+    }
+
+    #[test]
+    fn validate_rejects_self_send() {
+        let mut b = WorkloadBuilder::new("bad", 2);
+        let t = b.task(0, 0, 0);
+        b.tasks[t as usize].sends.push(SendSpec {
+            dst: 0,
+            flits: 1,
+            msg: 0,
+        });
+        b.next_msg = 1;
+        assert!(b.build().validate().unwrap_err().contains("self-send"));
+    }
+
+    #[test]
+    fn validate_rejects_receive_at_wrong_host() {
+        let mut b = WorkloadBuilder::new("bad", 3);
+        let t0 = b.task(0, 0, 0);
+        let m = b.send(t0, 1, 4);
+        let t2 = b.task(2, 0, 0);
+        b.recv(t2, m); // message addressed to host 1, received at host 2
+        assert!(b.build().validate().unwrap_err().contains("addressed to"));
+    }
+
+    #[test]
+    fn validate_rejects_dependency_cycle() {
+        let mut b = WorkloadBuilder::new("cycle", 2);
+        let a = b.task(0, 0, 0);
+        let c = b.task(1, 0, 0);
+        b.after(a, c);
+        b.after(c, a);
+        assert!(b.build().validate().unwrap_err().contains("cycle"));
+    }
+
+    #[test]
+    fn validate_rejects_message_cycle() {
+        // a sends m0 but waits for m1; b sends m1 but waits for m0.
+        let mut b = WorkloadBuilder::new("mcycle", 2);
+        let a = b.task(0, 0, 0);
+        let c = b.task(1, 0, 0);
+        let m0 = b.send(a, 1, 1);
+        let m1 = b.send(c, 0, 1);
+        b.recv(a, m1);
+        b.recv(c, m0);
+        assert!(b.build().validate().unwrap_err().contains("cycle"));
+    }
+
+    #[test]
+    fn validate_rejects_unsent_message() {
+        let mut b = WorkloadBuilder::new("orphan", 2);
+        b.task(0, 0, 0); // no sends
+        let mut w = b.build();
+        w.messages = 1;
+        assert!(w.validate().unwrap_err().contains("never sent"));
+    }
+
+    #[test]
+    fn validate_rejects_taskless_workload() {
+        // A job with no tasks has no completion event: a closed-loop run
+        // would spin to its deadline instead of finishing at cycle 0.
+        let w = WorkloadBuilder::new("empty", 2).build();
+        assert!(w.validate().unwrap_err().contains("no tasks"));
+    }
+}

@@ -1,0 +1,87 @@
+//! Parameter-server incast/broadcast: the adversarial many-to-one /
+//! one-to-many pattern of synchronous data-parallel training.
+
+use crate::dag::{MsgId, TaskId, Workload, WorkloadBuilder};
+
+/// `rounds` synchronous parameter-server rounds over `workers` workers
+/// and one server (rank 0; workers are ranks `1..=workers`). Each
+/// round, every worker pushes a `push_flits` gradient to the server
+/// (the incast); the server waits for all pushes, spends `compute`
+/// cycles applying them, and broadcasts a `bcast_flits` model update
+/// back to every worker, which gates the workers' next push. A final
+/// task per worker absorbs the last broadcast.
+///
+/// Panics if `workers == 0`, `rounds == 0`, or either size is 0.
+pub fn param_server(
+    workers: u32,
+    rounds: u32,
+    push_flits: u32,
+    bcast_flits: u32,
+    compute: u32,
+) -> Workload {
+    assert!(workers >= 1, "need at least one worker");
+    assert!(rounds >= 1, "need at least one round");
+    assert!(push_flits > 0 && bcast_flits > 0, "sizes must be positive");
+    let hosts = workers + 1;
+    let mut b = WorkloadBuilder::new(
+        format!("param_server(w={workers},rounds={rounds},p={push_flits},b={bcast_flits})"),
+        hosts,
+    );
+    let mut prev_worker_task: Vec<TaskId> = vec![0; workers as usize];
+    let mut prev_bcast: Vec<MsgId> = vec![0; workers as usize];
+    let mut prev_server_task: TaskId = 0;
+    for t in 0..rounds {
+        // Workers push (phase 2t).
+        let mut pushes: Vec<MsgId> = Vec::with_capacity(workers as usize);
+        for w in 0..workers {
+            let task = b.task(1 + w, compute, 2 * t);
+            if t > 0 {
+                b.after(task, prev_worker_task[w as usize]);
+                b.recv(task, prev_bcast[w as usize]);
+            }
+            pushes.push(b.send(task, 0, push_flits));
+            prev_worker_task[w as usize] = task;
+        }
+        // Server reduces and broadcasts (phase 2t+1).
+        let server = b.task(0, compute, 2 * t + 1);
+        if t > 0 {
+            b.after(server, prev_server_task);
+        }
+        for &m in &pushes {
+            b.recv(server, m);
+        }
+        for w in 0..workers {
+            prev_bcast[w as usize] = b.send(server, 1 + w, bcast_flits);
+        }
+        prev_server_task = server;
+    }
+    for w in 0..workers {
+        let task = b.task(1 + w, 0, 2 * rounds);
+        b.after(task, prev_worker_task[w as usize]);
+        b.recv(task, prev_bcast[w as usize]);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_server_shape() {
+        let w = param_server(4, 3, 16, 8, 10);
+        w.validate().unwrap();
+        assert_eq!(w.hosts, 5);
+        // Per round: 4 pushes + 4 broadcasts.
+        assert_eq!(w.messages, 3 * 8);
+        assert_eq!(w.total_flits(), 3 * 4 * (16 + 8));
+    }
+
+    #[test]
+    fn single_worker_ping_pongs() {
+        let w = param_server(1, 2, 4, 4, 0);
+        w.validate().unwrap();
+        assert_eq!(w.hosts, 2);
+        assert_eq!(w.messages, 4);
+    }
+}

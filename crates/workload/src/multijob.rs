@@ -1,0 +1,122 @@
+//! Multi-job mixes: partition a machine's hosts among concurrent jobs
+//! with independent workloads and seeds.
+
+use crate::collectives::{all_to_all, recursive_doubling_allreduce, ring_allreduce};
+use crate::dag::Workload;
+use crate::incast::param_server;
+use crate::stencil::halo_exchange;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// One job of a mix: a workload plus the global host indices (into the
+/// machine's host list) its ranks run on. Rank `i` of the workload maps
+/// to `hosts[i]`; the driver layer maps global host indices to routers.
+#[derive(Debug, Clone)]
+pub struct JobAssignment {
+    /// The job's communication DAG (`workload.hosts == hosts.len()`).
+    pub workload: Workload,
+    /// Global host indices, one per rank, disjoint across jobs.
+    pub hosts: Vec<u32>,
+}
+
+impl JobAssignment {
+    /// A single job occupying global hosts `0..workload.hosts` in order
+    /// — the whole-machine case.
+    pub fn solo(workload: Workload) -> JobAssignment {
+        let hosts = (0..workload.hosts).collect();
+        JobAssignment { workload, hosts }
+    }
+}
+
+/// Builds a `jobs`-way mix over `total_hosts` hosts: hosts are shuffled
+/// by `seed` and split into near-even disjoint slices, and each slice
+/// runs one workload drawn round-robin from the generator families
+/// (ring allreduce, recursive-doubling allreduce, all-to-all, 1-D halo,
+/// parameter server) with per-job seeded message sizes (1–4 ×
+/// `base_flits`) and compute delays. The same `(total_hosts, jobs,
+/// base_flits, seed)` always yields the same mix.
+///
+/// Panics unless `jobs ≥ 1` and `total_hosts ≥ 2·jobs` (every job needs
+/// at least two ranks).
+pub fn multi_job_mix(
+    total_hosts: u32,
+    jobs: u32,
+    base_flits: u32,
+    seed: u64,
+) -> Vec<JobAssignment> {
+    assert!(jobs >= 1, "need at least one job");
+    assert!(
+        total_hosts >= 2 * jobs,
+        "{total_hosts} hosts cannot give {jobs} jobs two ranks each"
+    );
+    assert!(base_flits > 0, "base message size must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pool: Vec<u32> = (0..total_hosts).collect();
+    pool.shuffle(&mut rng);
+
+    let mut out = Vec::with_capacity(jobs as usize);
+    let mut offset = 0usize;
+    for j in 0..jobs {
+        // Near-even split: the first `total % jobs` jobs get one extra.
+        let size = (total_hosts / jobs + u32::from(j < total_hosts % jobs)) as usize;
+        let hosts: Vec<u32> = pool[offset..offset + size].to_vec();
+        offset += size;
+        let ranks = hosts.len() as u32;
+        let flits = base_flits * rng.gen_range(1..=4u32);
+        let compute = rng.gen_range(0..=16u32);
+        let workload = match j % 5 {
+            0 => ring_allreduce(ranks, flits, compute),
+            1 => recursive_doubling_allreduce(ranks, flits, compute),
+            2 => all_to_all(ranks, flits, compute),
+            3 => halo_exchange(&[ranks], flits, 2, compute),
+            _ => param_server(ranks - 1, 2, flits, flits, compute),
+        };
+        out.push(JobAssignment { workload, hosts });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_partitions_hosts_disjointly() {
+        let mix = multi_job_mix(50, 5, 8, 42);
+        assert_eq!(mix.len(), 5);
+        let mut seen = [false; 50];
+        for job in &mix {
+            job.workload.validate().unwrap();
+            assert_eq!(job.workload.hosts as usize, job.hosts.len());
+            assert!(job.hosts.len() >= 2);
+            for &h in &job.hosts {
+                assert!(!seen[h as usize], "host {h} assigned twice");
+                seen[h as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every host assigned");
+    }
+
+    #[test]
+    fn mix_is_seed_deterministic() {
+        let a = multi_job_mix(31, 3, 4, 7);
+        let b = multi_job_mix(31, 3, 4, 7);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.hosts, y.hosts);
+            assert_eq!(x.workload.name, y.workload.name);
+            assert_eq!(x.workload.messages, y.workload.messages);
+        }
+        let c = multi_job_mix(31, 3, 4, 8);
+        assert!(
+            a.iter().zip(&c).any(|(x, y)| x.hosts != y.hosts),
+            "different seeds should shuffle differently"
+        );
+    }
+
+    #[test]
+    fn solo_assignment_is_identity() {
+        let j = JobAssignment::solo(ring_allreduce(4, 2, 0));
+        assert_eq!(j.hosts, vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,155 @@
+//! N-dimensional halo/stencil exchange on a periodic Cartesian grid.
+
+use crate::dag::{MsgId, TaskId, Workload, WorkloadBuilder};
+
+/// Rank of grid coordinate `coord` under row-major order.
+fn rank_of(coord: &[u32], dims: &[u32]) -> u32 {
+    let mut r = 0u32;
+    for (c, d) in coord.iter().zip(dims) {
+        r = r * d + c;
+    }
+    r
+}
+
+/// The distinct torus neighbors (±1 with wraparound per dimension) of
+/// the rank at `coord`. A dimension of extent 1 has no neighbor; extent
+/// 2 yields one neighbor (both directions coincide); duplicates across
+/// dimensions are removed so each neighbor gets exactly one halo.
+fn neighbors(coord: &[u32], dims: &[u32]) -> Vec<u32> {
+    let me = rank_of(coord, dims);
+    let mut out: Vec<u32> = Vec::new();
+    let mut c = coord.to_vec();
+    for (d, &extent) in dims.iter().enumerate() {
+        if extent < 2 {
+            continue;
+        }
+        for step in [1, extent - 1] {
+            let orig = c[d];
+            c[d] = (orig + step) % extent;
+            let n = rank_of(&c, dims);
+            c[d] = orig;
+            if n != me && !out.contains(&n) {
+                out.push(n);
+            }
+        }
+    }
+    out
+}
+
+/// `iters` iterations of halo exchange on a periodic `dims` grid: each
+/// iteration every rank sends a `halo_flits` face to each torus
+/// neighbor, then waits for all of its neighbors' faces (plus `compute`
+/// cycles of stencil work) before the next iteration's sends. A final
+/// task per rank absorbs the last iteration's halos.
+///
+/// Panics if the grid has fewer than 2 ranks, `iters == 0`, or
+/// `halo_flits == 0`.
+pub fn halo_exchange(dims: &[u32], halo_flits: u32, iters: u32, compute: u32) -> Workload {
+    let ranks: u32 = dims.iter().product();
+    assert!(ranks >= 2, "halo exchange needs at least 2 ranks");
+    assert!(iters > 0, "need at least one iteration");
+    assert!(halo_flits > 0, "halo size must be positive");
+    let mut b = WorkloadBuilder::new(
+        format!(
+            "halo(dims={:?},f={halo_flits},it={iters})",
+            dims.iter().filter(|&&d| d > 1).collect::<Vec<_>>()
+        ),
+        ranks,
+    );
+
+    // Enumerate coordinates once; neighbor lists are iteration-invariant.
+    let mut coords: Vec<Vec<u32>> = Vec::with_capacity(ranks as usize);
+    let mut c = vec![0u32; dims.len()];
+    loop {
+        coords.push(c.clone());
+        let mut d = dims.len();
+        loop {
+            if d == 0 {
+                break;
+            }
+            d -= 1;
+            c[d] += 1;
+            if c[d] < dims[d] {
+                break;
+            }
+            c[d] = 0;
+        }
+        if c.iter().all(|&x| x == 0) {
+            break;
+        }
+    }
+    let nbrs: Vec<Vec<u32>> = coords.iter().map(|c| neighbors(c, dims)).collect();
+
+    let mut prev_task: Vec<TaskId> = vec![0; ranks as usize];
+    // inbound[r] = messages addressed to r in the previous iteration.
+    let mut prev_inbound: Vec<Vec<MsgId>> = vec![Vec::new(); ranks as usize];
+    for t in 0..iters {
+        let mut inbound: Vec<Vec<MsgId>> = vec![Vec::new(); ranks as usize];
+        for r in 0..ranks {
+            let task = b.task(r, compute, t);
+            if t > 0 {
+                b.after(task, prev_task[r as usize]);
+                for &m in &prev_inbound[r as usize] {
+                    b.recv(task, m);
+                }
+            }
+            for &n in &nbrs[r as usize] {
+                let m = b.send(task, n, halo_flits);
+                inbound[n as usize].push(m);
+            }
+            prev_task[r as usize] = task;
+        }
+        prev_inbound = inbound;
+    }
+    for r in 0..ranks {
+        let task = b.task(r, 0, iters);
+        b.after(task, prev_task[r as usize]);
+        for &m in &prev_inbound[r as usize] {
+            b.recv(task, m);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_1d_has_two_neighbors() {
+        let w = halo_exchange(&[6], 8, 3, 5);
+        w.validate().unwrap();
+        // 6 ranks × 2 neighbors × 3 iters.
+        assert_eq!(w.messages, 36);
+    }
+
+    #[test]
+    fn grid_2d_has_four_neighbors() {
+        let w = halo_exchange(&[4, 4], 2, 2, 0);
+        w.validate().unwrap();
+        assert_eq!(w.messages, 4 * 4 * 4 * 2);
+    }
+
+    #[test]
+    fn extent_two_dimension_dedups_neighbors() {
+        // On a 2×3 torus the extent-2 dimension contributes one
+        // neighbor, the extent-3 dimension two.
+        let w = halo_exchange(&[2, 3], 1, 1, 0);
+        w.validate().unwrap();
+        assert_eq!(w.messages, 6 * 3);
+    }
+
+    #[test]
+    fn unit_dimensions_are_ignored() {
+        let w = halo_exchange(&[1, 5, 1], 4, 2, 0);
+        w.validate().unwrap();
+        assert_eq!(w.hosts, 5);
+        assert_eq!(w.messages, 5 * 2 * 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 ranks")]
+    fn degenerate_grid_is_rejected() {
+        halo_exchange(&[1, 1], 4, 1, 0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property net over every workload generator: whatever the
+//! parameters, the produced DAG must be *fully schedulable* — acyclic
+//! across `after` and send→receive edges, every receive matched by a
+//! send addressed to the receiving host (all checked by
+//! `Workload::validate`) — and every message must be consumed by some
+//! receive, so a drained DAG certifies the collective semantically
+//! completed rather than the network merely emptying.
+
+use pf_workload::{
+    all_to_all, halo_exchange, multi_job_mix, param_server, recursive_doubling_allreduce,
+    ring_allreduce, Workload,
+};
+use proptest::prelude::*;
+
+/// Validates and additionally checks every message has ≥ 1 receiver.
+fn assert_schedulable(w: &Workload, label: &str) {
+    w.validate().unwrap_or_else(|e| panic!("{label}: {e}"));
+    let mut consumed = vec![false; w.messages as usize];
+    for t in &w.tasks {
+        for &m in &t.recvs {
+            consumed[m as usize] = true;
+        }
+    }
+    for (m, c) in consumed.iter().enumerate() {
+        assert!(*c, "{label}: message {m} delivered into the void");
+    }
+    // Hosts that communicate must be within range (validate covers it);
+    // the generators also promise at least one message.
+    assert!(w.messages > 0, "{label}: empty workload");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn collectives_are_schedulable(
+        ranks in 2u32..24,
+        flits in 1u32..96,
+        compute in 0u32..24,
+    ) {
+        assert_schedulable(
+            &ring_allreduce(ranks, flits, compute),
+            &format!("ring r={ranks}"),
+        );
+        assert_schedulable(
+            &recursive_doubling_allreduce(ranks, flits, compute),
+            &format!("recdoub r={ranks}"),
+        );
+        assert_schedulable(
+            &all_to_all(ranks, flits, compute),
+            &format!("alltoall r={ranks}"),
+        );
+    }
+
+    #[test]
+    fn stencils_are_schedulable(
+        dx in 1u32..6,
+        dy in 1u32..6,
+        dz in 1u32..4,
+        flits in 1u32..32,
+        iters in 1u32..4,
+    ) {
+        // Skip degenerate all-ones grids (the generator rejects them).
+        if dx * dy * dz >= 2 {
+            assert_schedulable(
+                &halo_exchange(&[dx, dy, dz], flits, iters, 3),
+                &format!("halo {dx}x{dy}x{dz} it={iters}"),
+            );
+        }
+    }
+
+    #[test]
+    fn param_server_is_schedulable(
+        workers in 1u32..16,
+        rounds in 1u32..5,
+        push in 1u32..64,
+        bcast in 1u32..64,
+    ) {
+        assert_schedulable(
+            &param_server(workers, rounds, push, bcast, 5),
+            &format!("ps w={workers} rounds={rounds}"),
+        );
+    }
+
+    #[test]
+    fn multi_job_mixes_are_schedulable_and_disjoint(
+        hosts in 10u32..60,
+        jobs in 1u32..5,
+        seed in 0u64..1u64 << 40,
+    ) {
+        if hosts >= 2 * jobs {
+            let mix = multi_job_mix(hosts, jobs, 4, seed);
+            let mut taken = vec![false; hosts as usize];
+            for (ji, j) in mix.iter().enumerate() {
+                assert_schedulable(&j.workload, &format!("mix job {ji} seed={seed}"));
+                assert_eq!(j.workload.hosts as usize, j.hosts.len());
+                for &h in &j.hosts {
+                    assert!(!taken[h as usize], "host {h} in two jobs");
+                    taken[h as usize] = true;
+                }
+            }
+        }
+    }
+}

@@ -39,7 +39,7 @@ fn main() {
                 let r = simulate(&topo, &tables, &dests, routing, load, cfg.clone());
                 println!(
                     "{:<10} {:<8} {:>7.2} {:>10.3} {:>12.1} {:>7.2}{}",
-                    pattern.label(),
+                    pattern,
                     routing.label(),
                     r.offered_load,
                     r.accepted_load,
