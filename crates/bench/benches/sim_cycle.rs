@@ -23,6 +23,12 @@ use pf_topo::{PolarFlyTopo, Topology};
 /// clear of `u32` overflow in warmup+measure arithmetic.
 const NEVER: u32 = 1 << 30;
 
+/// Shard counts exercised on the step benchmarks. `K = 1` is the serial
+/// path (no probe/commit machinery at all); the sharded variants measure
+/// the full probe → barrier → commit cycle. On a single-core host the
+/// sharded numbers show pure protocol overhead; speedup needs ≥ K cores.
+const SHARDS: [usize; 4] = [1, 2, 4, 8];
+
 fn single_cycle(c: &mut Criterion) {
     let topo = PolarFlyTopo::new(31, 16).unwrap();
     let tables = RouteTables::build(topo.graph(), 1);
@@ -36,15 +42,27 @@ fn single_cycle(c: &mut Criterion) {
     let mut grp = c.benchmark_group("sim");
     grp.sample_size(10);
     for &(load, routing) in &[(0.2, Routing::Min), (0.6, Routing::UgalPf)] {
-        let cfg = SimConfig::default().warmup(NEVER).measure(1).drain_max(0);
-        let mut e = Engine::new(&topo, &tables, &dests, routing, load, cfg);
-        for _ in 0..300 {
-            e.step(); // reach steady-state occupancy before timing
+        for k in SHARDS {
+            let cfg = SimConfig::default()
+                .warmup(NEVER)
+                .measure(1)
+                .drain_max(0)
+                .shards(k);
+            let mut e = Engine::new(&topo, &tables, &dests, routing, load, cfg);
+            for _ in 0..300 {
+                e.step(); // reach steady-state occupancy before timing
+            }
+            let name = if k == 1 {
+                // Keep the historical serial bench IDs stable across PRs.
+                format!("step_q31_p16_{}_load{load}", routing.label().to_lowercase())
+            } else {
+                format!(
+                    "step_q31_p16_{}_load{load}_k{k}",
+                    routing.label().to_lowercase()
+                )
+            };
+            grp.bench_function(name, |b| b.iter(|| e.step()));
         }
-        grp.bench_function(
-            format!("step_q31_p16_{}_load{load}", routing.label().to_lowercase()),
-            |b| b.iter(|| e.step()),
-        );
     }
     grp.finish();
 }
@@ -70,5 +88,40 @@ fn short_load_curve(c: &mut Criterion) {
     grp.finish();
 }
 
-criterion_group!(benches, single_cycle, short_load_curve);
+/// One load point at `q = 79` (6 321 routers, radix 80) — the largest
+/// PolarFly the paper tabulates. A single below-saturation point with a
+/// full drain pins that the engine completes (delivers and drains all
+/// in-flight traffic) at this scale, and tracks the cost of a
+/// large-instance point for both the serial and the sharded path.
+fn large_instance_point(c: &mut Criterion) {
+    let topo = PolarFlyTopo::new(79, 40).unwrap();
+    let cfg = SimConfig::default().warmup(50).measure(100).drain_max(400);
+
+    let mut grp = c.benchmark_group("sim");
+    grp.sample_size(10);
+    for k in [1usize, 4] {
+        let cfg = cfg.clone().shards(k);
+        let name = if k == 1 {
+            "load_point_q79_p40_min".to_string()
+        } else {
+            format!("load_point_q79_p40_min_k{k}")
+        };
+        grp.bench_function(name, |b| {
+            b.iter(|| {
+                let curve = load_curve(&topo, Routing::Min, TrafficPattern::Uniform, &[0.2], &cfg);
+                let pt = &curve.points[0];
+                assert!(pt.delivered > 0 && !pt.saturated, "q79 point must drain");
+                pt.accepted_load
+            })
+        });
+    }
+    grp.finish();
+}
+
+criterion_group!(
+    benches,
+    single_cycle,
+    short_load_curve,
+    large_instance_point
+);
 criterion_main!(benches);

@@ -161,6 +161,17 @@ fn open_loop_unperturbed(topo: &dyn Topology, cfg: &SimConfig) -> Vec<String> {
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    // `--shards K` runs every engine through the sharded cycle path
+    // (K-way router partition, probe/commit protocol). Results are
+    // bit-for-bit identical to serial, so all the determinism and
+    // conservation gates below double as sharded-path gates; CI runs
+    // the smoke once with `--shards 4`.
+    let shards: usize = std::env::args()
+        .skip_while(|a| a != "--shards")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+        .max(1);
     let topos: Vec<Box<dyn Topology>> = vec![
         Box::new(PolarFlyTopo::new(31, 16).unwrap()),
         Box::new(SlimFly::new(23, 18).unwrap()),
@@ -173,9 +184,14 @@ fn main() {
     };
     // Closed-loop runs ignore warmup/measure; the deadline bounds a
     // wedged DAG. 4 VC classes suffice (healthy topology, ≤ 4 hops).
-    let cfg = SimConfig::default().workload_deadline(2_000_000);
+    let cfg = SimConfig::default()
+        .workload_deadline(2_000_000)
+        .shards(shards);
 
     println!("Collective sweep — closed-loop workload completion, PF vs SF");
+    if shards > 1 {
+        println!("(sharded cycle engine: {shards} shards per run)");
+    }
     println!("(every DAG must drain with conservation; smoke additionally checks");
     println!(" seed-determinism and the untouched open-loop path;");
     println!(" data rows are JSON lines — filter with `grep '^{{'`)\n");
@@ -255,7 +271,10 @@ fn main() {
 
     if smoke {
         for topo in &topos {
-            violations.extend(open_loop_unperturbed(topo.as_ref(), &SimConfig::quick()));
+            violations.extend(open_loop_unperturbed(
+                topo.as_ref(),
+                &SimConfig::quick().shards(shards),
+            ));
         }
     }
     if messages_total == 0 {

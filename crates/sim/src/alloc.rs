@@ -26,6 +26,12 @@ pub(crate) enum ReqSrc {
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct Req {
     pub(crate) out_buf: u32,
+    /// Requesting packet and the sequence of the flit it would send,
+    /// cached at build time. Exact: a requester (queue or stream)
+    /// registers at most one request per pass, so its head cannot change
+    /// between build and its own grant.
+    pub(crate) pkt: u32,
+    pub(crate) seq: u16,
     pub(crate) src: ReqSrc,
 }
 
@@ -46,7 +52,7 @@ impl Engine<'_> {
                 if self.port_used[port as usize] || self.port_flits[port as usize] == 0 {
                     continue;
                 }
-                for vc in 0..self.vcs {
+                for vc in crate::router::VcIter::new(self.vc_occ[port as usize], self.vcs) {
                     let qidx = port as usize * self.vcs + vc;
                     let Some((pkt, seq, ready_at)) = self.bufs.front(qidx) else {
                         continue;
@@ -58,7 +64,7 @@ impl Engine<'_> {
                         continue; // ejection handles it
                     }
                     // Route + VC allocation for a new head.
-                    if self.route_port[qidx] == NONE32 {
+                    if self.route[qidx].port == NONE32 {
                         debug_assert_eq!(seq, 0, "body flit without route");
                         let target = self.transit_target(r as u32, pkt);
                         let hop = HopContext {
@@ -101,12 +107,15 @@ impl Engine<'_> {
                             // (not per allocation retry of the same head).
                             self.diag_class_clamps += 1;
                         }
-                        self.route_port[qidx] = out_port;
-                        self.route_vc[qidx] = ovc;
-                        self.route_pkt[qidx] = pkt;
+                        self.route[qidx] = crate::engine::RouteEntry {
+                            port: out_port,
+                            pkt,
+                            vc: ovc,
+                        };
                     }
-                    let out_port = self.route_port[qidx];
-                    let out_idx = out_port as usize * self.vcs + self.route_vc[qidx] as usize;
+                    let re = self.route[qidx];
+                    let out_port = re.port;
+                    let out_idx = out_port as usize * self.vcs + re.vc as usize;
                     if self.credits[out_idx] == 0 {
                         self.diag_credit_stalls += 1;
                         continue;
@@ -119,13 +128,23 @@ impl Engine<'_> {
                     }
                     self.requests[out_port as usize].push(Req {
                         out_buf: out_idx as u32,
+                        pkt,
+                        seq,
                         src: ReqSrc::Transit { queue: qidx as u32 },
                     });
                 }
             }
         }
 
-        // Injection lanes request their (pre-claimed) first-hop output.
+        self.build_inject_requests(cycle);
+    }
+
+    /// Injection lanes request their (pre-claimed) first-hop output —
+    /// the tail of the request phase, shared verbatim by the serial
+    /// [`Engine::build_requests`] and the sharded commit path (it runs
+    /// on the master either way: the scan is cheap and its order
+    /// follows the transit requests).
+    pub(crate) fn build_inject_requests(&mut self, cycle: u32) {
         for r in 0..self.n {
             if self.inj_budget[r] == 0 {
                 continue;
@@ -147,6 +166,8 @@ impl Engine<'_> {
                 }
                 self.requests[out_port].push(Req {
                     out_buf,
+                    pkt: self.inj.pkt[slot],
+                    seq: self.inj.next_seq[slot],
                     src: ReqSrc::Inject {
                         router: r as u32,
                         stream: s,
@@ -154,6 +175,187 @@ impl Engine<'_> {
                 });
             }
         }
+    }
+
+    /// Sharded request build, probe half: replays the transit-head scan
+    /// of [`Engine::build_requests`] over one shard's routers *without
+    /// mutating engine state*, staging a [`crate::shard::Cand`] per
+    /// eligible head. Routing runs here, on the worker — reading the
+    /// same [`crate::routing::NetState`] the serial pass would (nothing
+    /// a request build mutates is part of that view), with per-packet
+    /// side effects (Valiant mid passage, fast-reroute pins) staged
+    /// instead of written. VC claims are *not* resolved here: output-VC
+    /// contention is serialized at commit, in the serial order.
+    pub(crate) fn probe_transit_shard(
+        &self,
+        routers: &[u32],
+        stage: &mut crate::shard::ShardStage,
+        cycle: u32,
+    ) {
+        stage.cands.clear();
+        for &r in routers {
+            let r = r as usize;
+            let (lo, hi) = self.geom.ports(r);
+            for port in lo..hi {
+                if self.port_used[port as usize] || self.port_flits[port as usize] == 0 {
+                    continue;
+                }
+                for vc in crate::router::VcIter::new(self.vc_occ[port as usize], self.vcs) {
+                    let qidx = port as usize * self.vcs + vc;
+                    let Some((pkt, seq, ready_at)) = self.bufs.front(qidx) else {
+                        continue;
+                    };
+                    if ready_at > cycle {
+                        continue;
+                    }
+                    if self.packets.dst[pkt as usize] == r as u32 {
+                        continue; // ejection handles it
+                    }
+                    if self.route[qidx].port != NONE32 {
+                        stage.cands.push(crate::shard::Cand::Routed {
+                            qidx: qidx as u32,
+                            pkt,
+                            seq,
+                        });
+                        continue;
+                    }
+                    debug_assert_eq!(seq, 0, "body flit without route");
+                    // Side-effect-free transit_target: resolve the
+                    // Valiant phase, staging the mid-passage flag.
+                    let p = pkt as usize;
+                    let (mid, dst) = (self.packets.mid[p], self.packets.dst[p]);
+                    let pending_mid = mid != NONE32 && !self.packets.passed_mid[p];
+                    let (target, set_passed_mid) = if pending_mid {
+                        if r as u32 == mid {
+                            (dst, true)
+                        } else {
+                            (mid, false)
+                        }
+                    } else {
+                        (dst, false)
+                    };
+                    let hop = HopContext {
+                        router: r as u32,
+                        target,
+                    };
+                    let (i, set_pin) = crate::routing::route_probe(
+                        self.algo.as_ref(),
+                        &net_view!(self),
+                        self.faults.pending_tables.as_ref(),
+                        self.packets.frr_pinned[p],
+                        hop,
+                        &mut stage.rng,
+                    );
+                    let out_port = self.geom.downstream(r as u32, i as usize);
+                    let in_class = vc / self.per_class;
+                    let classes = self.vcs / self.per_class;
+                    let out_class = (in_class + 1).min(classes - 1);
+                    stage.cands.push(crate::shard::Cand::Fresh {
+                        qidx: qidx as u32,
+                        pkt,
+                        out_port,
+                        out_class: out_class as u8,
+                        clamped: in_class + 1 >= classes,
+                        set_passed_mid,
+                        set_pin,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Sharded request build, commit half: merges the staged candidates
+    /// back into the serial discovery order (ascending queue index) and
+    /// applies what the serial pass would have: per-packet flags, the
+    /// hop-indexed VC claim (serial order — contention between shards
+    /// resolves exactly as in the serial pass), the credit/output
+    /// checks, diagnostics, and request registration.
+    pub(crate) fn commit_transit_requests(
+        &mut self,
+        rt: &mut crate::shard::ShardRuntime,
+        _cycle: u32,
+    ) {
+        for &o in &self.touched_outputs {
+            self.requests[o as usize].clear();
+        }
+        self.touched_outputs.clear();
+
+        rt.merge_cands(|cand| match cand {
+            crate::shard::Cand::Routed { qidx, pkt, seq } => {
+                let re = self.route[qidx as usize];
+                debug_assert_ne!(re.port, NONE32);
+                let out_idx = re.port as usize * self.vcs + re.vc as usize;
+                if self.credits[out_idx] == 0 {
+                    self.diag_credit_stalls += 1;
+                    return;
+                }
+                if self.out_taken[re.port as usize] {
+                    return;
+                }
+                if self.requests[re.port as usize].is_empty() {
+                    self.touched_outputs.push(re.port);
+                }
+                self.requests[re.port as usize].push(Req {
+                    out_buf: out_idx as u32,
+                    pkt,
+                    seq,
+                    src: ReqSrc::Transit { queue: qidx },
+                });
+            }
+            crate::shard::Cand::Fresh {
+                qidx,
+                pkt,
+                out_port,
+                out_class,
+                clamped,
+                set_passed_mid,
+                set_pin,
+            } => {
+                // The serial pass applies these before the VC claim and
+                // keeps them regardless of its outcome.
+                if set_passed_mid {
+                    self.packets.passed_mid[pkt as usize] = true;
+                }
+                if set_pin {
+                    self.packets.frr_pinned[pkt as usize] = true;
+                }
+                let Some(ovc) = crate::flow::claim_vc(
+                    &mut self.out_owner,
+                    out_port,
+                    self.vcs,
+                    out_class as usize,
+                    self.per_class,
+                ) else {
+                    self.diag_vc_stalls += 1;
+                    return;
+                };
+                if clamped {
+                    self.diag_class_clamps += 1;
+                }
+                self.route[qidx as usize] = crate::engine::RouteEntry {
+                    port: out_port,
+                    pkt,
+                    vc: ovc,
+                };
+                let out_idx = out_port as usize * self.vcs + ovc as usize;
+                if self.credits[out_idx] == 0 {
+                    self.diag_credit_stalls += 1;
+                    return;
+                }
+                if self.out_taken[out_port as usize] {
+                    return;
+                }
+                if self.requests[out_port as usize].is_empty() {
+                    self.touched_outputs.push(out_port);
+                }
+                self.requests[out_port as usize].push(Req {
+                    out_buf: out_idx as u32,
+                    pkt,
+                    seq: 0,
+                    src: ReqSrc::Transit { queue: qidx },
+                });
+            }
+        });
     }
 
     /// Resolves the transit routing target of `pkt` at router `r`,
@@ -176,22 +378,25 @@ impl Engine<'_> {
     /// Grant + accept: each requested output grants one requester
     /// (rotating start); each input port accepts at most one grant; an
     /// injection grant is accepted if router bandwidth remains. Accepted
-    /// flits traverse the switch immediately.
-    pub(crate) fn grant_and_accept(&mut self, cycle: u32) {
-        // Reset input accept slots for the ports that could receive grants.
-        for gi in self.input_grant.iter_mut() {
-            *gi = u32::MAX;
-        }
+    /// flits traverse the switch immediately. `shard` (sharded runs
+    /// only) receives per-traversal observability marks — boundary
+    /// crossings and busy shards — and never influences any decision.
+    pub(crate) fn grant_and_accept(
+        &mut self,
+        cycle: u32,
+        mut shard: Option<&mut crate::shard::ShardRuntime>,
+    ) {
+        // New grant epoch: an input port has accepted this pass iff its
+        // tag equals `grant_serial` (epoch tags instead of a per-pass
+        // memset of `input_grant`).
+        self.grant_serial += 1;
+        let taken = self.grant_serial;
         // Grant phase: winner per output. Outputs processed in rotated
         // order; inputs accept first-come, so rotation doubles as the
         // accept tie-break.
         let outs = std::mem::take(&mut self.touched_outputs);
         let olen = outs.len();
-        let ostart = if olen == 0 {
-            0
-        } else {
-            (cycle as usize).wrapping_mul(0x9E37_79B9) % olen
-        };
+        let ostart = crate::order::output_rotation(cycle, olen);
         for oi in 0..olen {
             let out_port = outs[(ostart + oi) % olen] as usize;
             if self.out_taken[out_port] {
@@ -201,7 +406,7 @@ impl Engine<'_> {
             if reqs.is_empty() {
                 continue;
             }
-            let rstart = (cycle as usize ^ out_port).wrapping_mul(0x85EB_CA6B) % reqs.len();
+            let rstart = crate::order::requester_rotation(cycle, out_port, reqs.len());
             let mut chosen = None;
             // Packet-continuation priority: drain in-flight packets before
             // granting new heads. Shorter output-VC hold times keep the VC
@@ -209,26 +414,17 @@ impl Engine<'_> {
             'passes: for want_body in [true, false] {
                 for k in 0..reqs.len() {
                     let req = reqs[(rstart + k) % reqs.len()];
-                    let is_body = match req.src {
-                        ReqSrc::Transit { queue } => self
-                            .bufs
-                            .front(queue as usize)
-                            .is_some_and(|(_, seq, _)| seq > 0),
-                        ReqSrc::Inject { router, stream } => {
-                            self.inj.next_seq[self.inj.slot(router as usize, stream)] > 0
-                        }
-                    };
-                    if is_body != want_body {
+                    if (req.seq > 0) != want_body {
                         continue;
                     }
                     match req.src {
                         ReqSrc::Transit { queue } => {
                             let in_port = (queue as usize) / self.vcs;
-                            if self.input_grant[in_port] != u32::MAX {
+                            if self.input_grant[in_port] == taken {
                                 continue; // input already accepted a grant
                             }
                             chosen = Some(req);
-                            self.input_grant[in_port] = queue;
+                            self.input_grant[in_port] = taken;
                             break 'passes;
                         }
                         ReqSrc::Inject { router, .. } => {
@@ -247,6 +443,13 @@ impl Engine<'_> {
                 continue;
             };
             // Traverse.
+            if let Some(rt) = shard.as_deref_mut() {
+                let src_router = match req.src {
+                    ReqSrc::Transit { queue } => self.port_owner[queue as usize / self.vcs],
+                    ReqSrc::Inject { router, .. } => router,
+                };
+                rt.note_traversal(src_router, self.port_owner[out_port]);
+            }
             self.out_taken[out_port] = true;
             self.link_flits[out_port] += 1;
             if self.transient && !self.link_up[out_port] && self.faults.draining[out_port] == 0 {
@@ -259,11 +462,20 @@ impl Engine<'_> {
             match req.src {
                 ReqSrc::Transit { queue } => {
                     let q = queue as usize;
-                    let (pkt, seq, _) = self.bufs.front(q).expect("requester nonempty");
+                    let (pkt, seq) = (req.pkt, req.seq);
+                    debug_assert_eq!(
+                        self.bufs.front(q).map(|(p, s, _)| (p, s)),
+                        Some((pkt, seq)),
+                        "cached request head diverged"
+                    );
                     self.bufs.pop_front(q);
-                    self.port_flits[q / self.vcs] -= 1;
+                    let in_port = q / self.vcs;
+                    self.port_flits[in_port] -= 1;
+                    if self.bufs.is_empty(q) {
+                        self.vc_occ[in_port] &= !1u32.wrapping_shl((q % self.vcs) as u32);
+                    }
                     self.credits[q] += 1;
-                    self.port_used[q / self.vcs] = true;
+                    self.port_used[in_port] = true;
                     self.pipeline.depart(
                         arrive,
                         Arrival {
@@ -274,12 +486,11 @@ impl Engine<'_> {
                     );
                     if seq == self.cfg.packet_flits - 1 {
                         // Tail flit: release the wormhole output VC.
-                        let op = self.route_port[q];
+                        let re = self.route[q];
+                        let op = re.port;
                         debug_assert_ne!(op, NONE32, "tail without route");
-                        let ov = self.route_vc[q];
-                        self.out_owner[op as usize * self.vcs + ov as usize] = false;
-                        self.route_port[q] = NONE32;
-                        self.route_pkt[q] = NONE32;
+                        self.out_owner[op as usize * self.vcs + re.vc as usize] = false;
+                        self.route[q] = crate::engine::RouteEntry::NONE;
                         if self.transient {
                             self.note_tail_traversed(op);
                         }
@@ -287,7 +498,8 @@ impl Engine<'_> {
                 }
                 ReqSrc::Inject { router, stream } => {
                     let slot = self.inj.slot(router as usize, stream);
-                    let seq = self.inj.next_seq[slot];
+                    let seq = req.seq;
+                    debug_assert_eq!(seq, self.inj.next_seq[slot]);
                     self.pipeline.depart(
                         arrive,
                         Arrival {

@@ -77,6 +77,18 @@ pub struct SimConfig {
     /// cycle is reported unfinished (`SimResult::saturated`) instead of
     /// spinning forever. Ignored by open-loop runs.
     pub workload_deadline: u32,
+    /// Worker shards for the cycle engine (see `DESIGN.md`, "Sharded
+    /// execution"): routers are partitioned into this many balanced
+    /// shards (minimum-cut recursive bisection) whose probe phases run
+    /// on scoped worker threads, with results committed at a per-cycle
+    /// barrier in the serial order — results are bit-for-bit identical
+    /// to `shards = 1` for every value. `1` (the default) keeps the
+    /// plain serial path. The default can be overridden with the
+    /// `PF_SIM_SHARDS` environment variable (CI runs the full test
+    /// suite under `PF_SIM_SHARDS=4`). Clamped to the router count;
+    /// algorithms that draw randomness on transit hops (adaptive
+    /// minimal / NCA) fall back to the serial path.
+    pub shards: usize,
 }
 
 impl Default for SimConfig {
@@ -99,6 +111,11 @@ impl Default for SimConfig {
             fault_policy: InFlightPolicy::DropRetransmit,
             convergence_delay: 200,
             workload_deadline: 1_000_000,
+            shards: std::env::var("PF_SIM_SHARDS")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .filter(|&k: &usize| k >= 1)
+                .unwrap_or(1),
         }
     }
 }
@@ -158,6 +175,8 @@ impl SimConfig {
         convergence_delay: u32,
         /// Sets the closed-loop workload deadline (cycles).
         workload_deadline: u32,
+        /// Sets the engine worker-shard count (1 = serial).
+        shards: usize,
     }
 
     /// Total virtual channels per port.

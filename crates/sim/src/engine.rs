@@ -79,6 +79,26 @@ impl Tables<'_> {
     }
 }
 
+/// The wormhole route claim of one queue head (see [`Engine::route`]).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RouteEntry {
+    /// Downstream input port (`NONE32` = unrouted).
+    pub(crate) port: u32,
+    /// Owning packet (`NONE32` when unrouted).
+    pub(crate) pkt: u32,
+    /// Claimed output VC.
+    pub(crate) vc: u8,
+}
+
+impl RouteEntry {
+    /// The unrouted state.
+    pub(crate) const NONE: RouteEntry = RouteEntry {
+        port: NONE32,
+        pkt: NONE32,
+        vc: 0,
+    };
+}
+
 /// One simulation instance at a fixed offered load.
 pub struct Engine<'a> {
     pub(crate) topo: &'a dyn Topology,
@@ -114,6 +134,10 @@ pub struct Engine<'a> {
     /// counts, re-convergence state, and fault counters. Inert (empty)
     /// unless `transient`.
     pub(crate) faults: FaultCtl,
+    /// Sharded-execution runtime (`SimConfig::shards` > 1 and the
+    /// routing algorithm is transit-deterministic): router partition,
+    /// per-shard mailboxes, and observability. `None` = serial path.
+    pub(crate) shard_rt: Option<crate::shard::ShardRuntime>,
     /// Closed-loop workload driver, replacing the Bernoulli generator
     /// when attached ([`Engine::attach_workload`]); `None` leaves the
     /// open-loop path untouched.
@@ -125,10 +149,9 @@ pub struct Engine<'a> {
     pub(crate) credits: Vec<u32>,
     /// Wormhole allocation of the packet at each queue head: downstream
     /// input port (`NONE32` = unrouted), VC, and owning packet (tracked
-    /// so fault events can find and cancel claims).
-    pub(crate) route_port: Vec<u32>,
-    pub(crate) route_vc: Vec<u8>,
-    pub(crate) route_pkt: Vec<u32>,
+    /// so fault events can find and cancel claims). One record per queue
+    /// so a head probe costs a single cache line.
+    pub(crate) route: Vec<RouteEntry>,
     /// Whether each (link, VC) output is owned by an in-flight packet.
     pub(crate) out_owner: Vec<bool>,
 
@@ -154,12 +177,28 @@ pub struct Engine<'a> {
     pub(crate) out_taken: Vec<bool>,
     pub(crate) requests: Vec<Vec<Req>>,
     pub(crate) touched_outputs: Vec<u32>,
-    /// Per-round accepted grant per input port (`u32::MAX` = none).
-    pub(crate) input_grant: Vec<u32>,
+    /// Per-pass grant epoch per input port: a port is taken this pass iff
+    /// `input_grant[p] == grant_serial` (epoch tags avoid a full memset
+    /// per allocator pass).
+    pub(crate) input_grant: Vec<u64>,
+    /// Current grant epoch (incremented at the top of every
+    /// `grant_and_accept` pass; starts at 0 = "no pass yet").
+    pub(crate) grant_serial: u64,
     /// Remaining injection bandwidth (flits) per router this cycle.
     pub(crate) inj_budget: Vec<u32>,
     /// Buffered flits per input port — lets the hot loops skip empty ports.
     pub(crate) port_flits: Vec<u32>,
+    /// Per-port bitmask of nonempty VC queues (bit `v` set ⇔ queue
+    /// `port·vcs + v` is nonempty), valid when `vcs ≤ 32` — lets the VC
+    /// scans visit only occupied queues ([`crate::router::VcIter`]).
+    /// With more than 32 VCs the high bits alias harmlessly: the mask is
+    /// never consulted (VcIter falls back to a linear scan).
+    pub(crate) vc_occ: Vec<u32>,
+    /// Buffered flits per input port whose packet terminates at this
+    /// port's router — lets ejection skip transit-only ports.
+    pub(crate) eject_flits: Vec<u32>,
+    /// Router owning each input port (inverse of [`PortMap::ports`]).
+    pub(crate) port_owner: Vec<u32>,
     /// Packets waiting in source queues, per minimal first-hop link — the
     /// virtual-output-queue component of the UGAL congestion signal. Under
     /// permutation traffic the bottleneck link stays busy (its buffers
@@ -291,6 +330,32 @@ impl<'a> Engine<'a> {
 
         let min_hop = MinHop::for_topology(topo);
 
+        let mut port_owner = vec![0u32; num_ports];
+        for r in 0..n {
+            let (lo, hi) = geom.ports(r);
+            for p in lo..hi {
+                port_owner[p as usize] = r as u32;
+            }
+        }
+
+        // Sharded execution: partition the routers when asked for and
+        // the algorithm's transit decisions are RNG-free (bit-for-bit
+        // parity with the serial path needs the single master RNG
+        // stream untouched by probes). A single-router or single-shard
+        // request degenerates to the serial path.
+        let k = cfg.shards.min(n);
+        let shard_rt = if k > 1 && !algo.uses_rng_in_transit() {
+            Some(crate::shard::ShardRuntime::build(
+                g,
+                &geom,
+                &port_owner,
+                k,
+                cfg.seed,
+            ))
+        } else {
+            None
+        };
+
         let seed = cfg.seed ^ (load.to_bits().rotate_left(17));
         Engine {
             topo,
@@ -310,12 +375,11 @@ impl<'a> Engine<'a> {
             degraded,
             transient,
             faults,
+            shard_rt,
             workload: None,
             bufs: FlitRings::new(queues, cap_per_vc),
             credits: vec![cap_per_vc; queues],
-            route_port: vec![NONE32; queues],
-            route_vc: vec![0; queues],
-            route_pkt: vec![NONE32; queues],
+            route: vec![RouteEntry::NONE; queues],
             out_owner: vec![false; queues],
             src_q: SourceQueues::new(n),
             inj: InjPool::new(&stream_caps),
@@ -334,9 +398,13 @@ impl<'a> Engine<'a> {
             out_taken: vec![false; num_ports],
             requests: vec![Vec::new(); num_ports],
             touched_outputs: Vec::new(),
-            input_grant: vec![u32::MAX; num_ports],
+            input_grant: vec![0; num_ports],
+            grant_serial: 0,
             inj_budget: vec![0; n],
             port_flits: vec![0; num_ports],
+            vc_occ: vec![0; num_ports],
+            eject_flits: vec![0; num_ports],
+            port_owner,
             inj_wait: vec![0; num_ports],
             started_scratch: Vec::new(),
             link_flits: vec![0; num_ports],
@@ -376,6 +444,10 @@ impl<'a> Engine<'a> {
             down_link_flits: self.faults.down_link_flits,
             vc_class_clamps: self.diag_class_clamps,
             jobs,
+            shards: self
+                .shard_rt
+                .as_ref()
+                .map_or_else(Vec::new, |rt| rt.observations()),
         }
     }
 
@@ -452,8 +524,18 @@ impl<'a> Engine<'a> {
         self.pack_result(0.0, accepted, makespan.is_none(), driver.results())
     }
 
-    /// Advances one cycle.
+    /// Advances one cycle (serial or sharded, per the construction-time
+    /// decision; both orders of execution produce bit-identical state).
     pub fn step(&mut self) {
+        if self.shard_rt.is_some() {
+            self.step_sharded();
+        } else {
+            self.step_serial();
+        }
+    }
+
+    /// The serial per-cycle schedule (`SimConfig::shards` = 1).
+    fn step_serial(&mut self) {
         let cycle = self.cycle;
         if self.transient {
             // 0. Fault events scheduled for this cycle (mask flips,
@@ -465,13 +547,7 @@ impl<'a> Engine<'a> {
         self.out_taken.iter_mut().for_each(|v| *v = false);
 
         // 1. Link arrivals.
-        let arrivals = self.pipeline.arrivals(cycle);
-        let ready_at = cycle + self.cfg.pipeline_delay;
-        for a in &arrivals {
-            self.port_flits[a.buf as usize / self.vcs] += 1;
-            self.bufs.push_back(a.buf as usize, a.pkt, a.seq, ready_at);
-        }
-        self.pipeline.recycle(cycle, arrivals);
+        self.apply_arrivals(cycle);
 
         // 2. Packet generation: closed-loop task-DAG releases when a
         //    workload is attached, the open-loop Bernoulli process
@@ -495,10 +571,77 @@ impl<'a> Engine<'a> {
         self.reset_inj_budgets();
         for _ in 0..self.cfg.alloc_iters.max(1) {
             self.build_requests(cycle);
-            self.grant_and_accept(cycle);
+            self.grant_and_accept(cycle, None);
         }
 
         self.cycle += 1;
+    }
+
+    /// The sharded per-cycle schedule: the serial schedule with the
+    /// ejection scan and transit request build run as fork-join probe
+    /// regions over the shard workers, committed on the master in the
+    /// serial order (see [`crate::shard`] for the full protocol and the
+    /// determinism argument). RNG-consuming phases (generation,
+    /// injection planning) and the inherently order-sensitive merges
+    /// (arrivals, grant-and-accept) stay on the master; fault events
+    /// and staged table swaps fire here, between barriers, so every
+    /// probe observes a consistent fault epoch.
+    fn step_sharded(&mut self) {
+        use crate::shard::ProbePhase;
+        let cycle = self.cycle;
+        if self.transient {
+            self.apply_fault_events(cycle);
+            self.maybe_swap_tables(cycle);
+        }
+        self.port_used.iter_mut().for_each(|v| *v = false);
+        self.out_taken.iter_mut().for_each(|v| *v = false);
+
+        self.apply_arrivals(cycle);
+
+        if self.workload.is_some() {
+            self.workload_release(cycle);
+        } else if cycle < self.cfg.gen_cutoff {
+            self.generate(cycle);
+        }
+
+        // The runtime is detached while phases run so the probe workers
+        // can share `&self` while the mailboxes are written mutably.
+        let mut rt = self.shard_rt.take().expect("sharded step without runtime");
+
+        rt.probe(self, cycle, ProbePhase::Eject);
+        self.commit_ejects(&mut rt, cycle);
+
+        self.start_injections();
+
+        self.reset_inj_budgets();
+        for _ in 0..self.cfg.alloc_iters.max(1) {
+            rt.probe(self, cycle, ProbePhase::Transit);
+            self.commit_transit_requests(&mut rt, cycle);
+            self.build_inject_requests(cycle);
+            self.grant_and_accept(cycle, Some(&mut rt));
+        }
+
+        rt.end_cycle();
+        self.shard_rt = Some(rt);
+        self.cycle += 1;
+    }
+
+    /// Drains this cycle's link arrivals into the input buffers (phase 1
+    /// of both schedules).
+    fn apply_arrivals(&mut self, cycle: u32) {
+        let arrivals = self.pipeline.arrivals(cycle);
+        let ready_at = cycle + self.cfg.pipeline_delay;
+        for a in &arrivals {
+            let buf = a.buf as usize;
+            let port = buf / self.vcs;
+            self.port_flits[port] += 1;
+            self.vc_occ[port] |= 1u32.wrapping_shl((buf % self.vcs) as u32);
+            if self.packets.dst[a.pkt as usize] == self.port_owner[port] {
+                self.eject_flits[port] += 1;
+            }
+            self.bufs.push_back(buf, a.pkt, a.seq, ready_at);
+        }
+        self.pipeline.recycle(cycle, arrivals);
     }
 
     /// Number of flits currently stored or in flight (test invariant).

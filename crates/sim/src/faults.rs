@@ -387,8 +387,8 @@ impl Engine<'_> {
     /// directed ports of a dying link; their remaining flits may still
     /// cross it until each tail passes.
     fn count_draining(&mut self, port_uv: u32, port_vu: u32) {
-        for q in 0..self.route_port.len() {
-            let rp = self.route_port[q];
+        for q in 0..self.route.len() {
+            let rp = self.route[q].port;
             if rp == port_uv || rp == port_vu {
                 self.faults.draining[rp as usize] += 1;
             }
@@ -480,18 +480,18 @@ impl Engine<'_> {
         // flit is still at the front (seq 0) sent nothing across — it is
         // released for a live re-route; anything else split its packet
         // over the dead link and the packet must restart.
-        for q in 0..self.route_port.len() {
-            let rp = self.route_port[q];
+        for q in 0..self.route.len() {
+            let re = self.route[q];
+            let rp = re.port;
             if rp == NONE32 || !dead_ports.contains(&rp) {
                 continue;
             }
-            let pkt = self.route_pkt[q];
+            let pkt = re.pkt;
             debug_assert_ne!(pkt, NONE32, "claim without owner");
             let untouched = matches!(self.bufs.front(q), Some((p, 0, _)) if p == pkt);
             if untouched {
-                self.out_owner[(rp * vcs) as usize + self.route_vc[q] as usize] = false;
-                self.route_port[q] = NONE32;
-                self.route_pkt[q] = NONE32;
+                self.out_owner[(rp * vcs) as usize + re.vc as usize] = false;
+                self.route[q] = crate::engine::RouteEntry::NONE;
                 self.note_tail_traversed(rp);
             } else if !victim[pkt as usize] {
                 victim[pkt as usize] = true;
@@ -526,12 +526,28 @@ impl Engine<'_> {
         }
         self.faults.dropped_flits += removed.len() as u64;
 
-        // Pass B2: purge victim flits from every input buffer.
+        // Pass B2: purge victim flits from every input buffer (keeping
+        // the per-port occupancy caches — `port_flits`, `eject_flits`,
+        // `vc_occ` — in sync with what was removed).
         for q in 0..self.credits.len() {
-            let removed = self.bufs.purge_queue(q, |p| victim[p as usize]);
+            let port = q / self.vcs;
+            let owner = self.port_owner[port];
+            let dst = &self.packets.dst;
+            let mut ejectable = 0u32;
+            let removed = self.bufs.purge_queue(q, |p| {
+                let hit = victim[p as usize];
+                if hit && dst[p as usize] == owner {
+                    ejectable += 1;
+                }
+                hit
+            });
             if removed > 0 {
                 self.credits[q] += removed;
-                self.port_flits[q / self.vcs] -= removed;
+                self.port_flits[port] -= removed;
+                self.eject_flits[port] -= ejectable;
+                if self.bufs.is_empty(q) {
+                    self.vc_occ[port] &= !1u32.wrapping_shl((q % self.vcs) as u32);
+                }
                 self.faults.dropped_flits += u64::from(removed);
             }
         }
@@ -542,12 +558,12 @@ impl Engine<'_> {
         // traverse — surrender its drain slot here, or the `draining > 0`
         // guard would exempt that port from down-link detection until
         // repair.
-        for q in 0..self.route_port.len() {
-            let rp = self.route_port[q];
-            if rp != NONE32 && victim[self.route_pkt[q] as usize] {
-                self.out_owner[(rp * vcs) as usize + self.route_vc[q] as usize] = false;
-                self.route_port[q] = NONE32;
-                self.route_pkt[q] = NONE32;
+        for q in 0..self.route.len() {
+            let re = self.route[q];
+            let rp = re.port;
+            if rp != NONE32 && victim[re.pkt as usize] {
+                self.out_owner[(rp * vcs) as usize + re.vc as usize] = false;
+                self.route[q] = crate::engine::RouteEntry::NONE;
                 self.note_tail_traversed(rp);
             }
         }

@@ -82,11 +82,13 @@ pub mod engine;
 pub mod faults;
 pub mod flow;
 pub mod inject;
+pub(crate) mod order;
 pub mod packet;
 pub mod phase;
 pub mod queues;
 pub mod router;
 pub mod routing;
+pub(crate) mod shard;
 pub mod stats;
 pub mod sweep;
 pub mod tables;
@@ -99,7 +101,7 @@ pub use engine::{simulate, Engine};
 pub use phase::{PhaseClock, SimPhase};
 pub use router::FlitRings;
 pub use routing::{HopContext, MinHop, NetState, Port, RoutePlan, RoutingAlgorithm};
-pub use stats::{JobResult, PhaseResult, SimResult};
+pub use stats::{JobResult, PhaseResult, ShardObs, SimResult};
 pub use sweep::{load_curve, load_grid, LoadCurve};
 pub use tables::RouteTables;
 pub use traffic::TrafficPattern;

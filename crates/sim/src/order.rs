@@ -1,0 +1,107 @@
+//! The engine's deterministic tie-break orders, in one place.
+//!
+//! Simulation results depend on *iteration order* wherever the cycle
+//! engine resolves a many-to-one contention: which output link is
+//! considered first, which requester a granted output scans first, and
+//! which port ejection drains first. The serial engine historically
+//! encoded these orders implicitly in its loop structure; the sharded
+//! engine must reproduce them exactly or lose bit-for-bit parity. This
+//! module is the single definition both paths share — and the audit of
+//! what the orders are:
+//!
+//! * **Router scan order** — ascending router id. Every phase
+//!   (ejection, injection start, request build) walks routers `0..n`;
+//!   sharded phases process contiguous router blocks and merge their
+//!   results back in ascending router order.
+//! * **Port scan order** — ascending port id within a router (ports are
+//!   numbered by neighbor index). Ejection rotates its *starting* port
+//!   by [`eject_start`] but still walks ascending offsets from it.
+//! * **VC scan order** — ascending VC index within a port, both for
+//!   request building and ejection ([`crate::router::VcIter`] yields
+//!   set mask bits in exactly this order, and its over-32-VC fallback
+//!   walks `0..vcs` linearly — the same ascending order).
+//! * **Output grant order** — the touched-outputs list, rotated by
+//!   [`output_rotation`]. The list itself is in *request discovery
+//!   order*: ascending (router, port, VC) over transit heads, then
+//!   ascending (router, stream) over injection lanes. Outputs granted
+//!   earlier win input ports earlier (accept is first-come), so this
+//!   rotation doubles as the input-accept tie-break.
+//! * **Requester order at one output** — the per-output request list in
+//!   discovery order, rotated by [`requester_rotation`], scanned in two
+//!   passes (packet-continuation flits before new heads).
+//!
+//! The rotations are multiplicative hashes of the cycle (and output
+//! port), chosen to decorrelate consecutive cycles; their exact values
+//! are pinned by regression tests because changing them silently
+//! changes every simulation result.
+
+/// Rotated start index into the touched-outputs list for this cycle's
+/// grant phase (`olen` = list length).
+#[inline]
+pub(crate) fn output_rotation(cycle: u32, olen: usize) -> usize {
+    if olen == 0 {
+        0
+    } else {
+        (cycle as usize).wrapping_mul(0x9E37_79B9) % olen
+    }
+}
+
+/// Rotated start index into output `out_port`'s requester list
+/// (`len` = requester count, must be nonzero).
+#[inline]
+pub(crate) fn requester_rotation(cycle: u32, out_port: usize, len: usize) -> usize {
+    (cycle as usize ^ out_port).wrapping_mul(0x85EB_CA6B) % len
+}
+
+/// Rotated starting *offset* of the ejection port scan at a router with
+/// `ports` input ports (the scan walks `ports` ascending offsets from
+/// it, wrapping).
+#[inline]
+pub(crate) fn eject_start(cycle: u32, ports: usize) -> usize {
+    (cycle as usize) % ports.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The rotation constants are part of every simulation's semantics:
+    /// changing them changes results. Pin exact values so an accidental
+    /// edit fails loudly instead of silently shifting goldens.
+    #[test]
+    fn rotation_values_are_pinned() {
+        assert_eq!(output_rotation(0, 7), 0);
+        assert_eq!(output_rotation(1, 7), 0x9E37_79B9usize % 7);
+        assert_eq!(
+            output_rotation(12345, 997),
+            12345usize.wrapping_mul(0x9E37_79B9) % 997
+        );
+        assert_eq!(output_rotation(12345, 0), 0);
+
+        assert_eq!(requester_rotation(0, 0, 5), 0);
+        assert_eq!(
+            requester_rotation(3, 10, 5),
+            (3usize ^ 10).wrapping_mul(0x85EB_CA6B) % 5
+        );
+        assert_eq!(requester_rotation(7, 7, 9), 0);
+
+        assert_eq!(eject_start(5, 4), 1);
+        assert_eq!(
+            eject_start(5, 0),
+            0,
+            "portless router must not divide by zero"
+        );
+    }
+
+    /// The VC scan order contract: `VcIter` yields occupied VCs in
+    /// ascending order in both the mask mode and the >32-VC linear
+    /// fallback.
+    #[test]
+    fn vc_iter_is_ascending_in_both_modes() {
+        let got: Vec<usize> = crate::router::VcIter::new(0b1010_0110, 8).collect();
+        assert_eq!(got, vec![1, 2, 5, 7]);
+        let lin: Vec<usize> = crate::router::VcIter::new(0, 40).collect();
+        assert_eq!(lin, (0..40).collect::<Vec<_>>());
+        assert_eq!(crate::router::VcIter::new(0, 8).count(), 0);
+    }
+}

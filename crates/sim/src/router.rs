@@ -77,19 +77,34 @@ impl PortMap {
     }
 }
 
-/// All (port, VC) flit buffers as parallel flat ring buffers.
+/// One buffered flit: packet id, arrival-ready cycle, and sequence
+/// number, packed so a head probe touches one cache line instead of
+/// three (the hot loops' dominant memory traffic).
+#[derive(Debug, Clone, Copy, Default)]
+struct FlitSlot {
+    pkt: u32,
+    ready: u32,
+    seq: u16,
+}
+
+/// All (port, VC) flit buffers as flat ring buffers.
 ///
-/// Queue `q` owns slots `[q·cap, (q+1)·cap)` of each array; `head[q]` and
-/// `len[q]` define the live window. Capacity is fixed: the credit protocol
-/// guarantees a sender never pushes into a full buffer.
+/// Queue `q` owns slots `[q·cap, (q+1)·cap)`; `head[q]` and `len[q]`
+/// define the live window. Capacity is fixed: the credit protocol
+/// guarantees a sender never pushes into a full buffer. There is no
+/// global occupancy counter — per-queue state is the only mutable state,
+/// so disjoint queues can be operated on from different shards without
+/// sharing a cell ([`FlitRings::total_flits`] sums on demand).
 pub struct FlitRings {
     cap: u32,
-    pkt: Vec<u32>,
-    seq: Vec<u16>,
-    ready: Vec<u32>,
+    slots: Vec<FlitSlot>,
     head: Vec<u32>,
     len: Vec<u32>,
-    total: usize,
+    /// Copy of each queue's head flit (valid iff `len[q] > 0`). The hot
+    /// loops probe heads far more often than they pop, and this dense
+    /// array stays cache-resident while `slots` (cap× larger) does not —
+    /// `front` reads only this; pops and purges refill it.
+    head_flit: Vec<FlitSlot>,
 }
 
 impl FlitRings {
@@ -99,12 +114,10 @@ impl FlitRings {
         let slots = queues * cap as usize;
         FlitRings {
             cap,
-            pkt: vec![0; slots],
-            seq: vec![0; slots],
-            ready: vec![0; slots],
+            slots: vec![FlitSlot::default(); slots],
             head: vec![0; queues],
             len: vec![0; queues],
-            total: 0,
+            head_flit: vec![FlitSlot::default(); queues],
         }
     }
 
@@ -126,10 +139,11 @@ impl FlitRings {
         self.len[q] == 0
     }
 
-    /// Total flits across all queues.
+    /// Total flits across all queues. O(queues) — diagnostic/test use,
+    /// never on the hot path.
     #[inline]
     pub fn total_flits(&self) -> usize {
-        self.total
+        self.len.iter().map(|&l| l as usize).sum()
     }
 
     #[inline]
@@ -155,11 +169,12 @@ impl FlitRings {
             off -= self.cap;
         }
         let s = q * self.cap as usize + off as usize;
-        self.pkt[s] = pkt;
-        self.seq[s] = seq;
-        self.ready[s] = ready;
+        let f = FlitSlot { pkt, ready, seq };
+        self.slots[s] = f;
+        if self.len[q] == 0 {
+            self.head_flit[q] = f;
+        }
         self.len[q] += 1;
-        self.total += 1;
     }
 
     /// Head flit of queue `q` as `(pkt, seq, ready_at)`.
@@ -168,8 +183,8 @@ impl FlitRings {
         if self.len[q] == 0 {
             return None;
         }
-        let s = q * self.cap as usize + self.head[q] as usize;
-        Some((self.pkt[s], self.seq[s], self.ready[s]))
+        let f = self.head_flit[q];
+        Some((f.pkt, f.seq, f.ready))
     }
 
     /// Removes the head flit of queue `q`.
@@ -182,13 +197,16 @@ impl FlitRings {
         }
         self.head[q] = h;
         self.len[q] -= 1;
-        self.total -= 1;
+        if self.len[q] > 0 {
+            self.head_flit[q] = self.slots[q * self.cap as usize + h as usize];
+        }
     }
 
     /// Flit `i` positions behind the head (test/diagnostic access).
     pub fn get(&self, q: usize, i: u32) -> (u32, u16, u32) {
         let s = self.slot(q, i);
-        (self.pkt[s], self.seq[s], self.ready[s])
+        let f = self.slots[s];
+        (f.pkt, f.seq, f.ready)
     }
 
     /// Removes every flit of queue `q` whose packet satisfies `victim`,
@@ -201,15 +219,15 @@ impl FlitRings {
             return 0;
         }
         let base = q * self.cap as usize;
-        let mut kept: Vec<(u32, u16, u32)> = Vec::with_capacity(len as usize);
+        let mut kept: Vec<FlitSlot> = Vec::with_capacity(len as usize);
         for i in 0..len {
             let mut off = self.head[q] + i;
             if off >= self.cap {
                 off -= self.cap;
             }
             let s = base + off as usize;
-            if !victim(self.pkt[s]) {
-                kept.push((self.pkt[s], self.seq[s], self.ready[s]));
+            if !victim(self.slots[s].pkt) {
+                kept.push(self.slots[s]);
             }
         }
         let removed = len - kept.len() as u32;
@@ -218,13 +236,65 @@ impl FlitRings {
         }
         self.head[q] = 0;
         self.len[q] = kept.len() as u32;
-        for (i, (pkt, seq, ready)) in kept.into_iter().enumerate() {
-            self.pkt[base + i] = pkt;
-            self.seq[base + i] = seq;
-            self.ready[base + i] = ready;
+        for (i, f) in kept.into_iter().enumerate() {
+            self.slots[base + i] = f;
         }
-        self.total -= removed as usize;
+        if self.len[q] > 0 {
+            self.head_flit[q] = self.slots[base];
+        }
         removed
+    }
+}
+
+/// Iterates the VCs of one port worth probing, in ascending order — the
+/// engine's canonical VC scan order (see `crate::order`).
+///
+/// When the port has ≤ 32 VCs the engine maintains a per-port occupancy
+/// bitmask (`vc_occ`) and this iterator walks only its set bits; with
+/// more VCs the mask cannot cover them, so every VC is visited and the
+/// per-VC emptiness check falls to the caller's `front()` probe (exactly
+/// the pre-mask behavior). Both modes visit nonempty VCs in the same
+/// ascending order, so results are identical.
+pub(crate) struct VcIter {
+    mask: u32,
+    lin: u32,
+    vcs: u32,
+    linear: bool,
+}
+
+impl VcIter {
+    /// `mask` is the port's occupancy bitmask (ignored when `vcs > 32`).
+    #[inline]
+    pub(crate) fn new(mask: u32, vcs: usize) -> VcIter {
+        VcIter {
+            mask,
+            lin: 0,
+            vcs: vcs as u32,
+            linear: vcs > 32,
+        }
+    }
+}
+
+impl Iterator for VcIter {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.linear {
+            if self.lin < self.vcs {
+                let v = self.lin;
+                self.lin += 1;
+                Some(v as usize)
+            } else {
+                None
+            }
+        } else if self.mask != 0 {
+            let v = self.mask.trailing_zeros();
+            self.mask &= self.mask - 1;
+            Some(v as usize)
+        } else {
+            None
+        }
     }
 }
 

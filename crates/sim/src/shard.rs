@@ -1,0 +1,355 @@
+//! Sharded execution: fork-join worker shards over a minimum-cut router
+//! partition, bit-for-bit identical to the serial engine.
+//!
+//! [`crate::SimConfig::shards`] = K > 1 partitions the router set into K
+//! balanced shards (`pf_graph::partition::partition_k`, minimizing the
+//! number of links crossing shards) and runs the engine's two dominant
+//! read-heavy phases — transit route probing and ejection scanning — as
+//! fork-join parallel regions over scoped worker threads:
+//!
+//! * **Probe (parallel)**: each worker walks *its own shard's routers*
+//!   over the shared engine state (`&Engine`, read-only) and stages its
+//!   decisions — route candidates ([`Cand`]) and eject picks
+//!   ([`EjectAction`]) — into a per-shard mailbox ([`ShardStage`]).
+//!   Workers never write engine state, so no locks and no data races;
+//!   the expensive work (routing algebra, UGAL occupancy reads, VC
+//!   scans) happens here.
+//! * **Barrier**: the scope join. All mailboxes are complete before the
+//!   master proceeds; fault events and staged table swaps only ever run
+//!   on the master between barriers, so every worker observes a
+//!   consistent fault epoch.
+//! * **Commit (master)**: the master merges the mailboxes back into
+//!   *the serial iteration order* — ascending queue index for route
+//!   candidates, ascending router id for eject actions (shards hold
+//!   disjoint routers, and router port ranges are contiguous, so a
+//!   k-way head merge reconstructs the exact serial order) — and
+//!   applies the mutations: VC claims, request registration, flit pops,
+//!   credit returns, packet delivery. Contended resources (output VCs,
+//!   credits, grant matching) are therefore resolved by the *same*
+//!   deterministic tie-breaks as the serial path ([`crate::order`]),
+//!   which is what makes K-sharded results bit-identical to `K = 1` —
+//!   pinned by `tests/shard_parity.rs` across routings, traffic modes,
+//!   and transient-fault schedules.
+//!
+//! Phases that consume the engine RNG (generation, injection planning)
+//! or that are inherently sequential merges (grant-and-accept, link
+//! arrivals) stay on the master, preserving the single RNG stream.
+//! Routing algorithms that draw randomness on transit hops
+//! ([`crate::routing::RoutingAlgorithm::uses_rng_in_transit`]) fall
+//! back to the serial path entirely.
+//!
+//! Worker threads are spawned per parallel region via
+//! [`std::thread::scope`] — on the measured configurations the spawn
+//! cost is ≈1% of a cycle; a persistent pool is a possible follow-up.
+//! Per-shard observability (boundary links/flits, busy cycles, the
+//! master's barrier wait) is surfaced as [`crate::stats::ShardObs`] in
+//! [`crate::SimResult::shards`].
+
+use crate::engine::Engine;
+use crate::router::PortMap;
+use crate::stats::ShardObs;
+use pf_graph::partition::partition_k;
+use pf_graph::Csr;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+/// Random-restart budget for the build-time partition. The partition
+/// only affects *performance* (cut size = cross-shard traffic), never
+/// results, so a small budget suffices.
+const PARTITION_RESTARTS: usize = 4;
+
+/// A transit request candidate staged by a probe worker, in shard-local
+/// discovery order (ascending queue index). The commit pass replays
+/// these in the global serial order.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Cand {
+    /// Head with a live wormhole route claim (`Engine::route` set):
+    /// commit re-checks credits/output-taken and registers the request.
+    Routed {
+        /// Input buffer queue index.
+        qidx: u32,
+        /// Requesting packet.
+        pkt: u32,
+        /// Flit sequence at the head.
+        seq: u16,
+    },
+    /// Unrouted head: the worker ran the routing algorithm (read-only
+    /// probe); commit applies the staged per-packet side effects, claims
+    /// an output VC in serial order, and registers the request.
+    Fresh {
+        /// Input buffer queue index.
+        qidx: u32,
+        /// Requesting packet (head flit, seq 0).
+        pkt: u32,
+        /// Chosen downstream input port.
+        out_port: u32,
+        /// Hop-indexed VC class to claim on it.
+        out_class: u8,
+        /// The hop exceeded the VC class budget (diagnostic counter).
+        clamped: bool,
+        /// The probe saw the packet arrive at its Valiant intermediate.
+        set_passed_mid: bool,
+        /// The probe fast-rerouted onto the pending tables (pin it).
+        set_pin: bool,
+    },
+}
+
+impl Cand {
+    /// The candidate's queue index — the serial-order merge key
+    /// (ascending qidx == ascending router, port, VC).
+    #[inline]
+    pub(crate) fn qidx(&self) -> u32 {
+        match *self {
+            Cand::Routed { qidx, .. } | Cand::Fresh { qidx, .. } => qidx,
+        }
+    }
+}
+
+/// One eject decision staged by a probe worker (the flit at `qidx`'s
+/// head leaves the network). Staged in the serial per-router scan order;
+/// `pkt`/`seq` are carried for the commit-side head assertion.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct EjectAction {
+    /// Input buffer queue index to pop.
+    pub(crate) qidx: u32,
+    /// The ejecting packet.
+    pub(crate) pkt: u32,
+    /// Its flit sequence (tail detection at commit).
+    pub(crate) seq: u16,
+}
+
+/// Per-shard mailbox: the staging buffers one worker fills during a
+/// probe and the master drains at commit. Allocations are reused across
+/// cycles.
+pub(crate) struct ShardStage {
+    /// Staged transit request candidates, ascending qidx.
+    pub(crate) cands: Vec<Cand>,
+    /// Staged eject decisions, serial scan order.
+    pub(crate) ejects: Vec<EjectAction>,
+    /// Satisfies the routing probe's RNG parameter. Never drawn from:
+    /// algorithms that use transit randomness are excluded from
+    /// sharding (`uses_rng_in_transit`), so this stream stays untouched
+    /// and results stay independent of it.
+    pub(crate) rng: StdRng,
+}
+
+/// Per-shard observability accumulators (see [`ShardObs`]).
+#[derive(Debug, Default, Clone)]
+pub(crate) struct ShardObsAcc {
+    pub(crate) routers: u32,
+    pub(crate) boundary_links: u32,
+    pub(crate) boundary_flits: u64,
+    pub(crate) busy_cycles: u64,
+    pub(crate) barrier_wait_ns: u64,
+}
+
+/// Which probe a fork-join region runs.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum ProbePhase {
+    /// Ejection scan ([`Engine::probe_eject_shard`]).
+    Eject,
+    /// Transit request build ([`Engine::probe_transit_shard`]).
+    Transit,
+}
+
+/// The sharded-execution runtime attached to an engine when
+/// `SimConfig::shards > 1`: the router partition, per-shard mailboxes,
+/// and observability state.
+pub(crate) struct ShardRuntime {
+    /// Shard count K (≥ 2, ≤ router count).
+    pub(crate) k: usize,
+    /// Router → shard map.
+    pub(crate) shard_of: Vec<u32>,
+    /// Routers per shard, ascending (the probe walk order).
+    pub(crate) routers: Vec<Vec<u32>>,
+    /// Per-shard mailboxes.
+    pub(crate) stages: Vec<ShardStage>,
+    /// Per-shard observability accumulators.
+    pub(crate) obs: Vec<ShardObsAcc>,
+    /// Per-cycle "moved a flit" marks, folded into `busy_cycles` at the
+    /// end of every step.
+    pub(crate) cycle_busy: Vec<bool>,
+    /// Scratch merge cursors (one per shard).
+    merge_idx: Vec<usize>,
+}
+
+impl ShardRuntime {
+    /// Partitions `g`'s routers into `k` shards and builds the runtime.
+    /// `k` must already be clamped to `2..=n`.
+    pub(crate) fn build(g: &Csr, geom: &PortMap, port_owner: &[u32], k: usize, seed: u64) -> Self {
+        debug_assert!((2..=g.vertex_count()).contains(&k));
+        let part = partition_k(g, k, PARTITION_RESTARTS, seed ^ 0xA55A_C0DE_5EED_5107);
+        let shard_of = part.parts;
+        let mut routers = vec![Vec::new(); k];
+        for (r, &s) in shard_of.iter().enumerate() {
+            routers[s as usize].push(r as u32);
+        }
+        let mut obs: Vec<ShardObsAcc> = routers
+            .iter()
+            .map(|rs| ShardObsAcc {
+                routers: rs.len() as u32,
+                ..ShardObsAcc::default()
+            })
+            .collect();
+        // Boundary degree: output links whose receiving router lives in
+        // another shard (each direction counted for its sender's shard).
+        for p in 0..geom.num_ports() {
+            let src = shard_of[port_owner[p] as usize];
+            let dst = shard_of[port_owner[geom.out_link[p] as usize] as usize];
+            if src != dst {
+                obs[src as usize].boundary_links += 1;
+            }
+        }
+        let stages = (0..k)
+            .map(|_| ShardStage {
+                cands: Vec::new(),
+                ejects: Vec::new(),
+                rng: StdRng::seed_from_u64(0),
+            })
+            .collect();
+        ShardRuntime {
+            k,
+            shard_of,
+            routers,
+            stages,
+            obs,
+            cycle_busy: vec![false; k],
+            merge_idx: vec![0; k],
+        }
+    }
+
+    /// Runs one fork-join probe region: shards `1..K` on scoped worker
+    /// threads, shard 0 on the calling (master) thread, then joins. The
+    /// join is the cycle barrier; the master's wait for stragglers is
+    /// accumulated into shard 0's `barrier_wait_ns`.
+    pub(crate) fn probe(&mut self, eng: &Engine<'_>, cycle: u32, phase: ProbePhase) {
+        let t0 = Instant::now();
+        let mut self_done = Duration::ZERO;
+        let (master, rest) = self.stages.split_at_mut(1);
+        let routers = &self.routers;
+        std::thread::scope(|s| {
+            for (i, stage) in rest.iter_mut().enumerate() {
+                let shard_routers = &routers[i + 1];
+                s.spawn(move || run_probe(eng, shard_routers, stage, cycle, phase));
+            }
+            run_probe(eng, &routers[0], &mut master[0], cycle, phase);
+            self_done = t0.elapsed();
+        });
+        self.obs[0].barrier_wait_ns += t0.elapsed().saturating_sub(self_done).as_nanos() as u64;
+    }
+
+    /// Records one granted flit traversal from router `src` to router
+    /// `dst` (observability only: busy marks and boundary crossings).
+    #[inline]
+    pub(crate) fn note_traversal(&mut self, src: u32, dst: u32) {
+        let ss = self.shard_of[src as usize] as usize;
+        self.cycle_busy[ss] = true;
+        if self.shard_of[dst as usize] as usize != ss {
+            self.obs[ss].boundary_flits += 1;
+        }
+    }
+
+    /// Folds this cycle's busy marks into `busy_cycles` and clears them.
+    pub(crate) fn end_cycle(&mut self) {
+        for s in 0..self.k {
+            if self.cycle_busy[s] {
+                self.obs[s].busy_cycles += 1;
+                self.cycle_busy[s] = false;
+            }
+        }
+    }
+
+    /// Iterates staged transit candidates across all shards in the
+    /// global serial order (ascending qidx; shard lists are each
+    /// ascending, so a k-way head merge suffices), calling `apply` on
+    /// each. The candidate lists are left drained conceptually (cursor
+    /// scratch is reset); buffers are reused next cycle.
+    pub(crate) fn merge_cands(&mut self, mut apply: impl FnMut(Cand)) {
+        self.merge_idx.iter_mut().for_each(|i| *i = 0);
+        loop {
+            let mut best = usize::MAX;
+            let mut best_q = u32::MAX;
+            for s in 0..self.k {
+                if let Some(c) = self.stages[s].cands.get(self.merge_idx[s]) {
+                    if c.qidx() < best_q {
+                        best_q = c.qidx();
+                        best = s;
+                    }
+                }
+            }
+            if best == usize::MAX {
+                break;
+            }
+            let c = self.stages[best].cands[self.merge_idx[best]];
+            self.merge_idx[best] += 1;
+            apply(c);
+        }
+    }
+
+    /// Iterates staged eject actions across all shards in the global
+    /// serial order: ascending *router* id, preserving each shard's
+    /// per-router (rotated-port) scan order. Marks ejecting shards busy.
+    /// `owner_of` maps a queue index to its router id.
+    pub(crate) fn merge_ejects(
+        &mut self,
+        owner_of: impl Fn(u32) -> u32,
+        mut apply: impl FnMut(EjectAction),
+    ) {
+        self.merge_idx.iter_mut().for_each(|i| *i = 0);
+        loop {
+            let mut best = usize::MAX;
+            let mut best_r = u32::MAX;
+            for s in 0..self.k {
+                if let Some(a) = self.stages[s].ejects.get(self.merge_idx[s]) {
+                    let r = owner_of(a.qidx);
+                    if r < best_r {
+                        best_r = r;
+                        best = s;
+                    }
+                }
+            }
+            if best == usize::MAX {
+                break;
+            }
+            // Consume the whole run of this router's actions (they are
+            // contiguous: the probe finishes a router before the next).
+            self.cycle_busy[best] = true;
+            while let Some(a) = self.stages[best].ejects.get(self.merge_idx[best]) {
+                if owner_of(a.qidx) != best_r {
+                    break;
+                }
+                self.merge_idx[best] += 1;
+                apply(*a);
+            }
+        }
+    }
+
+    /// Snapshots the observability accumulators for [`crate::SimResult`].
+    pub(crate) fn observations(&self) -> Vec<ShardObs> {
+        self.obs
+            .iter()
+            .map(|o| ShardObs {
+                routers: o.routers,
+                boundary_links: o.boundary_links,
+                boundary_flits: o.boundary_flits,
+                busy_cycles: o.busy_cycles,
+                barrier_wait_ns: o.barrier_wait_ns,
+            })
+            .collect()
+    }
+}
+
+/// Dispatches one shard's probe work (worker-thread body).
+fn run_probe(
+    eng: &Engine<'_>,
+    routers: &[u32],
+    stage: &mut ShardStage,
+    cycle: u32,
+    phase: ProbePhase,
+) {
+    match phase {
+        ProbePhase::Eject => eng.probe_eject_shard(routers, stage, cycle),
+        ProbePhase::Transit => eng.probe_transit_shard(routers, stage, cycle),
+    }
+}

@@ -43,6 +43,32 @@ pub struct SimResult {
     /// ([`crate::Engine::run_workload`]); empty on open-loop Bernoulli
     /// runs, whose behavior and fields are unchanged.
     pub jobs: Vec<JobResult>,
+    /// Per-shard execution observability of a sharded run
+    /// (`SimConfig::shards` > 1; empty on serial runs). Shard counters
+    /// describe *how* the run executed, never *what* it computed: every
+    /// other field of this struct is bit-identical across shard counts
+    /// (pinned by the shard parity tests).
+    pub shards: Vec<ShardObs>,
+}
+
+/// Execution observability of one engine shard (see `DESIGN.md`,
+/// "Sharded execution").
+#[derive(Debug, Clone, Copy)]
+pub struct ShardObs {
+    /// Routers owned by this shard.
+    pub routers: u32,
+    /// This shard's output links whose receiver lives in another shard
+    /// (its boundary degree under the minimum-cut partition).
+    pub boundary_links: u32,
+    /// Flits this shard's routers sent across a shard boundary.
+    pub boundary_flits: u64,
+    /// Cycles in which this shard moved at least one flit (traversal or
+    /// ejection).
+    pub busy_cycles: u64,
+    /// Wall-clock nanoseconds the master spent waiting for straggler
+    /// workers at fork-join barriers (accumulated on shard 0; purely
+    /// diagnostic — excluded from parity comparisons).
+    pub barrier_wait_ns: u64,
 }
 
 /// Completion outcome of one closed-loop job (see `pf_sim::drive`).

@@ -1,0 +1,311 @@
+//! Bit-for-bit parity of the sharded cycle engine (`SimConfig::shards`)
+//! against the serial path, across router counts, routing algorithms,
+//! injection modes, and transient-fault schedules.
+//!
+//! The sharded engine's contract is *exact* determinism: for every
+//! shard count K, every semantic field of [`SimResult`] — latency means
+//! down to the bit, packet counts, fault/retransmit counters, per-job
+//! makespans and phase spans — equals the serial run's. Only the
+//! `shards` observability block may differ (it describes execution, not
+//! results). These tests pin that contract; any divergence is an
+//! ordering bug in the probe/commit protocol (see `DESIGN.md`,
+//! "Sharded execution").
+
+use pf_graph::FaultSchedule;
+use pf_sim::traffic::TrafficPattern;
+use pf_sim::{load_curve, simulate_workload, Routing, SimConfig, SimResult};
+use pf_topo::{PolarFlyTopo, Topology, TransientTopo};
+use pf_workload::{param_server, ring_allreduce, JobAssignment};
+
+/// Shard counts exercised against the serial baseline.
+const SHARD_COUNTS: [usize; 2] = [2, 4];
+
+/// Asserts every semantic field of two results is bit-identical
+/// (floating-point fields compared by bit pattern, not tolerance).
+fn assert_bit_identical(a: &SimResult, b: &SimResult, label: &str) {
+    assert_eq!(
+        a.offered_load.to_bits(),
+        b.offered_load.to_bits(),
+        "{label}: offered_load"
+    );
+    assert_eq!(
+        a.accepted_load.to_bits(),
+        b.accepted_load.to_bits(),
+        "{label}: accepted_load"
+    );
+    assert_eq!(
+        a.avg_latency.to_bits(),
+        b.avg_latency.to_bits(),
+        "{label}: avg_latency"
+    );
+    assert_eq!(
+        a.p99_latency.to_bits(),
+        b.p99_latency.to_bits(),
+        "{label}: p99_latency"
+    );
+    assert_eq!(
+        a.avg_hops.to_bits(),
+        b.avg_hops.to_bits(),
+        "{label}: avg_hops"
+    );
+    assert_eq!(a.generated, b.generated, "{label}: generated");
+    assert_eq!(a.delivered, b.delivered, "{label}: delivered");
+    assert_eq!(a.saturated, b.saturated, "{label}: saturated");
+    assert_eq!(a.dropped_flits, b.dropped_flits, "{label}: dropped_flits");
+    assert_eq!(
+        a.retransmitted_packets, b.retransmitted_packets,
+        "{label}: retransmitted_packets"
+    );
+    assert_eq!(a.table_swaps, b.table_swaps, "{label}: table_swaps");
+    assert_eq!(
+        a.down_link_flits, b.down_link_flits,
+        "{label}: down_link_flits"
+    );
+    assert_eq!(
+        a.vc_class_clamps, b.vc_class_clamps,
+        "{label}: vc_class_clamps"
+    );
+    assert_eq!(a.jobs.len(), b.jobs.len(), "{label}: job count");
+    for (ja, jb) in a.jobs.iter().zip(&b.jobs) {
+        let jl = format!("{label}: job {}", ja.name);
+        assert_eq!(ja.name, jb.name, "{jl}: name");
+        assert_eq!(ja.ranks, jb.ranks, "{jl}: ranks");
+        assert_eq!(ja.makespan, jb.makespan, "{jl}: makespan");
+        assert_eq!(ja.messages, jb.messages, "{jl}: messages");
+        assert_eq!(
+            ja.messages_delivered, jb.messages_delivered,
+            "{jl}: messages_delivered"
+        );
+        assert_eq!(ja.payload_flits, jb.payload_flits, "{jl}: payload_flits");
+        assert_eq!(
+            ja.alg_bandwidth.to_bits(),
+            jb.alg_bandwidth.to_bits(),
+            "{jl}: alg_bandwidth"
+        );
+        assert_eq!(ja.phases.len(), jb.phases.len(), "{jl}: phase count");
+        for (pa, pb) in ja.phases.iter().zip(&jb.phases) {
+            assert_eq!(pa.phase, pb.phase, "{jl}: phase tag");
+            assert_eq!(pa.start, pb.start, "{jl}: phase start");
+            assert_eq!(pa.end, pb.end, "{jl}: phase end");
+            assert_eq!(pa.messages, pb.messages, "{jl}: phase messages");
+        }
+    }
+}
+
+/// One Bernoulli load point at each shard count, compared to serial.
+fn check_bernoulli(topo: &dyn Topology, routing: Routing, load: f64, cfg: &SimConfig) {
+    let serial = load_curve(
+        topo,
+        routing,
+        TrafficPattern::Uniform,
+        &[load],
+        &cfg.clone().shards(1),
+    );
+    assert!(
+        serial.points[0].delivered > 0,
+        "{}: vacuous parity baseline",
+        routing.label()
+    );
+    for k in SHARD_COUNTS {
+        let sharded = load_curve(
+            topo,
+            routing,
+            TrafficPattern::Uniform,
+            &[load],
+            &cfg.clone().shards(k),
+        );
+        assert_bit_identical(
+            &serial.points[0],
+            &sharded.points[0],
+            &format!("{} load {load} K={k}", routing.label()),
+        );
+        assert_eq!(
+            sharded.points[0].shards.len(),
+            k,
+            "{} K={k}: missing shard observability",
+            routing.label()
+        );
+    }
+}
+
+/// PF(7): Bernoulli injection, below and near saturation, MIN and
+/// UGAL-PF (the deterministic-transit algorithms of the paper's sweep).
+#[test]
+fn bernoulli_parity_q7() {
+    let topo = PolarFlyTopo::new(7, 4).unwrap();
+    let cfg = SimConfig::quick().seed(3);
+    for routing in [Routing::Min, Routing::UgalPf] {
+        check_bernoulli(&topo, routing, 0.2, &cfg);
+        check_bernoulli(&topo, routing, 0.55, &cfg);
+    }
+}
+
+/// PF(31) — the paper's 993-router instance — with shortened windows:
+/// the full-scale port/VC index space is where shard-merge ordering
+/// bugs would hide.
+#[test]
+fn bernoulli_parity_q31() {
+    let topo = PolarFlyTopo::new(31, 16).unwrap();
+    let cfg = SimConfig::default()
+        .warmup(150)
+        .measure(250)
+        .drain_max(900)
+        .seed(9);
+    check_bernoulli(&topo, Routing::Min, 0.3, &cfg);
+    check_bernoulli(&topo, Routing::UgalPf, 0.3, &cfg);
+}
+
+/// Closed-loop workload DAGs: per-job makespans, phase spans, and
+/// message conservation must survive sharding bit-for-bit.
+#[test]
+fn workload_parity_q7() {
+    let topo = PolarFlyTopo::new(7, 4).unwrap();
+    // Two concurrent jobs on disjoint hosts: a ring allreduce and a
+    // parameter server (7 ranks: 6 workers + the server).
+    let jobs = || {
+        vec![
+            JobAssignment {
+                workload: ring_allreduce(8, 16, 4),
+                hosts: (0..8).collect(),
+            },
+            JobAssignment {
+                workload: param_server(6, 8, 4, 8, 20),
+                hosts: (8..15).collect(),
+            },
+        ]
+    };
+    for routing in [Routing::Min, Routing::UgalPf] {
+        let cfg = SimConfig::default().seed(17).shards(1);
+        let serial = simulate_workload(&topo, routing, jobs(), &cfg).unwrap();
+        assert!(!serial.saturated, "{}: workload wedged", routing.label());
+        for k in SHARD_COUNTS {
+            let cfg = SimConfig::default().seed(17).shards(k);
+            let sharded = simulate_workload(&topo, routing, jobs(), &cfg).unwrap();
+            assert_bit_identical(
+                &serial,
+                &sharded,
+                &format!("workload {} K={k}", routing.label()),
+            );
+        }
+    }
+}
+
+/// Transient faults: mid-run link deaths, drop-and-retransmit, staged
+/// table re-convergence. Fault events and table swaps fire on the
+/// master between barriers, so the fault counters — retransmits, drops,
+/// swap count — must match exactly too.
+#[test]
+fn transient_parity_q7() {
+    let pf = PolarFlyTopo::new(7, 4).unwrap();
+    let schedule = FaultSchedule::sample_connected_links(pf.graph(), 0.08, 150, 150, 23);
+    assert!(!schedule.is_empty());
+    let transient = TransientTopo::new(&pf, schedule);
+    let cfg = SimConfig::default()
+        .warmup(500)
+        .measure(400)
+        .drain_max(2500)
+        .vc_classes(8)
+        .convergence_delay(100)
+        .seed(11);
+    for routing in [Routing::Min, Routing::UgalPf] {
+        let serial = load_curve(
+            &transient,
+            routing,
+            TrafficPattern::Uniform,
+            &[0.2],
+            &cfg.clone().shards(1),
+        );
+        assert!(
+            serial.points[0].retransmitted_packets > 0,
+            "{}: schedule never hit committed traffic (vacuous parity)",
+            routing.label()
+        );
+        for k in SHARD_COUNTS {
+            let sharded = load_curve(
+                &transient,
+                routing,
+                TrafficPattern::Uniform,
+                &[0.2],
+                &cfg.clone().shards(k),
+            );
+            assert_bit_identical(
+                &serial.points[0],
+                &sharded.points[0],
+                &format!("transient {} K={k}", routing.label()),
+            );
+        }
+    }
+}
+
+/// The shard observability block: K shards cover all routers, boundary
+/// traffic is observed under uniform traffic on a minimum-cut
+/// partition, busy cycles are bounded by the run length — and the
+/// serial path reports no shards at all.
+#[test]
+fn shard_observability_is_populated() {
+    let topo = PolarFlyTopo::new(7, 4).unwrap();
+    let cfg = SimConfig::quick().seed(5);
+    let serial = load_curve(
+        &topo,
+        Routing::Min,
+        TrafficPattern::Uniform,
+        &[0.3],
+        &cfg.clone().shards(1),
+    );
+    assert!(serial.points[0].shards.is_empty());
+
+    let sharded = load_curve(
+        &topo,
+        Routing::Min,
+        TrafficPattern::Uniform,
+        &[0.3],
+        &cfg.clone().shards(4),
+    );
+    let obs = &sharded.points[0].shards;
+    assert_eq!(obs.len(), 4);
+    let n: u32 = obs.iter().map(|o| o.routers).sum();
+    assert_eq!(n as usize, topo.graph().vertex_count());
+    assert!(
+        obs.iter().all(|o| o.routers > 0),
+        "empty shard in a balanced partition"
+    );
+    assert!(
+        obs.iter().any(|o| o.boundary_flits > 0),
+        "uniform traffic crossed no shard boundary"
+    );
+    assert!(
+        obs.iter().all(|o| o.boundary_links > 0),
+        "a shard with no boundary links on a connected graph"
+    );
+    for o in obs {
+        assert!(o.busy_cycles > 0, "idle shard under load");
+    }
+}
+
+/// Adaptive minimal (NCA) draws randomness on transit hops, so a
+/// sharded request must fall back to the serial path — same results,
+/// no shard observability.
+#[test]
+fn nca_requests_fall_back_to_serial() {
+    let topo = PolarFlyTopo::new(7, 4).unwrap();
+    let cfg = SimConfig::quick().seed(3);
+    let a = load_curve(
+        &topo,
+        Routing::MinAdaptive,
+        TrafficPattern::Uniform,
+        &[0.3],
+        &cfg.clone().shards(1),
+    );
+    let b = load_curve(
+        &topo,
+        Routing::MinAdaptive,
+        TrafficPattern::Uniform,
+        &[0.3],
+        &cfg.clone().shards(4),
+    );
+    assert_bit_identical(&a.points[0], &b.points[0], "NCA fallback");
+    assert!(
+        b.points[0].shards.is_empty(),
+        "NCA run must not report shard observability"
+    );
+}
