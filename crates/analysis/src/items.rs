@@ -1,0 +1,398 @@
+//! Item extraction: functions, impl context, and `#[cfg(test)]` ranges.
+//!
+//! A lightweight structural pass over the token stream from
+//! [`crate::lexer`]: enough shape to (a) name every function —
+//! qualified by its `impl` type when inside one — with its signature
+//! and body token ranges, (b) know whether it takes `&mut self`, and
+//! (c) know which line ranges belong to `#[cfg(test)]` modules so
+//! test-only code can be exempted from source-scoped rules.
+
+use crate::lexer::{Lexed, TokKind};
+
+/// One extracted `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Bare function name (`next_output`).
+    pub name: String,
+    /// Qualified name (`MinAdaptive::next_output`) when inside an impl.
+    pub qual: String,
+    /// 1-indexed line of the `fn` keyword.
+    pub line: u32,
+    /// The receiver is `&mut self`.
+    pub has_mut_self: bool,
+    /// The parameter list is the receiver alone (`(&mut self)`):
+    /// `fn next(&mut self)` is the Iterator protocol, whose state is
+    /// caller-local by construction.
+    pub self_only: bool,
+    /// Token index range `[start, end)` of the body including braces,
+    /// if the function has one (trait declarations do not).
+    pub body: Option<(usize, usize)>,
+}
+
+/// Structural facts about one lexed file.
+#[derive(Debug, Default)]
+pub struct FileItems {
+    /// Every `fn` item in source order.
+    pub fns: Vec<FnItem>,
+    /// Inclusive line ranges covered by `#[cfg(test)] mod` blocks.
+    pub test_line_ranges: Vec<(u32, u32)>,
+}
+
+impl FileItems {
+    /// Whether `line` falls inside a `#[cfg(test)]` module.
+    pub fn in_test_mod(&self, line: u32) -> bool {
+        self.test_line_ranges
+            .iter()
+            .any(|&(lo, hi)| line >= lo && line <= hi)
+    }
+}
+
+/// Rust keywords that can never be call targets or type names.
+pub fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "as" | "break"
+            | "const"
+            | "continue"
+            | "crate"
+            | "dyn"
+            | "else"
+            | "enum"
+            | "extern"
+            | "false"
+            | "fn"
+            | "for"
+            | "if"
+            | "impl"
+            | "in"
+            | "let"
+            | "loop"
+            | "match"
+            | "mod"
+            | "move"
+            | "mut"
+            | "pub"
+            | "ref"
+            | "return"
+            | "self"
+            | "Self"
+            | "static"
+            | "struct"
+            | "super"
+            | "trait"
+            | "true"
+            | "type"
+            | "unsafe"
+            | "use"
+            | "where"
+            | "while"
+            | "async"
+            | "await"
+    )
+}
+
+/// Computes, for every `{` token index, the index of its matching `}`.
+/// Unbalanced files (possible in fixtures) close at end of stream.
+fn brace_matches(lx: &Lexed) -> Vec<(usize, usize)> {
+    let mut stack = Vec::new();
+    let mut pairs = Vec::new();
+    for (i, t) in lx.toks.iter().enumerate() {
+        match t.kind {
+            TokKind::Punct('{') => stack.push(i),
+            TokKind::Punct('}') => {
+                if let Some(open) = stack.pop() {
+                    pairs.push((open, i));
+                }
+            }
+            _ => {}
+        }
+    }
+    let end = lx.toks.len();
+    for open in stack {
+        pairs.push((open, end.saturating_sub(1)));
+    }
+    pairs.sort_unstable();
+    pairs
+}
+
+/// Matching `}` index for the `{` at token index `open`.
+fn close_of(pairs: &[(usize, usize)], open: usize) -> usize {
+    match pairs.binary_search_by_key(&open, |&(o, _)| o) {
+        Ok(k) => pairs[k].1,
+        Err(_) => open,
+    }
+}
+
+/// Extracts functions, impl contexts, and test-module ranges.
+pub fn extract(lx: &Lexed) -> FileItems {
+    let pairs = brace_matches(lx);
+    let toks = &lx.toks;
+    let n = toks.len();
+    let mut out = FileItems::default();
+    // Stack of (body_close_token_index, impl type name).
+    let mut impl_stack: Vec<(usize, String)> = Vec::new();
+    let mut pending_cfg_test = false;
+    let mut i = 0usize;
+    while i < n {
+        while let Some(&(close, _)) = impl_stack.last() {
+            if i > close {
+                impl_stack.pop();
+            } else {
+                break;
+            }
+        }
+        match &toks[i].kind {
+            // `#[cfg(test)]` attribute: remember it for the next `mod`.
+            TokKind::Punct('#')
+                if matches!(toks.get(i + 1).map(|t| &t.kind), Some(TokKind::Punct('['))) =>
+            {
+                let mut j = i + 2;
+                let mut depth = 1u32;
+                let mut attr_idents: Vec<&str> = Vec::new();
+                while j < n && depth > 0 {
+                    match &toks[j].kind {
+                        TokKind::Punct('[') => depth += 1,
+                        TokKind::Punct(']') => depth -= 1,
+                        TokKind::Ident(s) => attr_idents.push(s),
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if attr_idents.first() == Some(&"cfg") && attr_idents.contains(&"test") {
+                    pending_cfg_test = true;
+                }
+                i = j;
+            }
+            TokKind::Ident(s) if s == "mod" => {
+                // `mod name { ... }` — record its lines if cfg(test)-gated.
+                let mut j = i + 1;
+                while j < n && !matches!(toks[j].kind, TokKind::Punct('{') | TokKind::Punct(';')) {
+                    j += 1;
+                }
+                if pending_cfg_test {
+                    pending_cfg_test = false;
+                    if j < n && toks[j].kind == TokKind::Punct('{') {
+                        let close = close_of(&pairs, j);
+                        let hi = toks.get(close).map_or(u32::MAX, |t| t.line);
+                        out.test_line_ranges.push((toks[i].line, hi));
+                    }
+                }
+                i = j + 1;
+            }
+            TokKind::Ident(s) if s == "impl" => {
+                pending_cfg_test = false;
+                // Collect tokens up to the impl body `{` to name the type.
+                let mut j = i + 1;
+                let mut angle = 0i32;
+                let mut after_for = false;
+                let mut first_ident: Option<String> = None;
+                let mut for_ident: Option<String> = None;
+                while j < n {
+                    match &toks[j].kind {
+                        TokKind::Punct('{') if angle == 0 => break,
+                        TokKind::Punct(';') if angle == 0 => break,
+                        TokKind::Punct('<') => angle += 1,
+                        TokKind::Punct('>') => {
+                            // `->` in Fn-trait bounds keeps angle depth.
+                            let arrow = j > 0 && toks[j - 1].kind == TokKind::Punct('-');
+                            if !arrow {
+                                angle -= 1;
+                            }
+                        }
+                        TokKind::Ident(s) if angle == 0 => {
+                            if s == "for" {
+                                after_for = true;
+                            } else if s == "where" {
+                                // Type name comes before any where clause.
+                            } else if !is_keyword(s) {
+                                if after_for && for_ident.is_none() {
+                                    for_ident = Some(s.clone());
+                                } else if first_ident.is_none() {
+                                    first_ident = Some(s.clone());
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                let ty = for_ident.or(first_ident).unwrap_or_else(|| "?".to_string());
+                if j < n && toks[j].kind == TokKind::Punct('{') {
+                    impl_stack.push((close_of(&pairs, j), ty));
+                }
+                i = j + 1;
+            }
+            TokKind::Ident(s) if s == "fn" => {
+                pending_cfg_test = false;
+                let Some(TokKind::Ident(name)) = toks.get(i + 1).map(|t| &t.kind) else {
+                    i += 1;
+                    continue;
+                };
+                let name = name.clone();
+                let line = toks[i].line;
+                // Scan the signature: stop at `{` or `;` outside all
+                // bracket kinds; `->`'s `>` must not close a generic.
+                let mut j = i + 2;
+                let mut angle = 0i32;
+                let mut paren = 0i32;
+                let mut bracket = 0i32;
+                let mut has_mut_self = false;
+                let mut self_only = false;
+                let mut params_open: Option<usize> = None;
+                while j < n {
+                    match &toks[j].kind {
+                        TokKind::Punct('{') if angle <= 0 && paren == 0 && bracket == 0 => break,
+                        TokKind::Punct(';') if angle <= 0 && paren == 0 && bracket == 0 => break,
+                        TokKind::Punct('<') => angle += 1,
+                        TokKind::Punct('>') => {
+                            let arrow = j > 0 && toks[j - 1].kind == TokKind::Punct('-');
+                            if !arrow {
+                                angle -= 1;
+                            }
+                        }
+                        TokKind::Punct('(') => {
+                            if paren == 0 && angle <= 0 && params_open.is_none() {
+                                params_open = Some(j);
+                            }
+                            paren += 1;
+                        }
+                        TokKind::Punct(')') => paren -= 1,
+                        TokKind::Punct('[') => bracket += 1,
+                        TokKind::Punct(']') => bracket -= 1,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if let Some(po) = params_open {
+                    // `(&mut self, ...` possibly with a lifetime: `&'a mut self`.
+                    let mut k = po + 1;
+                    if matches!(toks.get(k).map(|t| &t.kind), Some(TokKind::Punct('&'))) {
+                        k += 1;
+                        if matches!(toks.get(k).map(|t| &t.kind), Some(TokKind::Lifetime)) {
+                            k += 1;
+                        }
+                        if matches!(toks.get(k).map(|t| &t.kind), Some(TokKind::Ident(s)) if s == "mut")
+                            && matches!(toks.get(k + 1).map(|t| &t.kind), Some(TokKind::Ident(s)) if s == "self")
+                        {
+                            has_mut_self = true;
+                        }
+                    }
+                    // Receiver-only parameter list: no comma at paren
+                    // depth 1 outside generic arguments.
+                    let starts_self = matches!(
+                        toks.get(po + 1).map(|t| &t.kind),
+                        Some(TokKind::Punct('&')) | Some(TokKind::Ident(_))
+                    );
+                    if starts_self {
+                        let mut pd = 0i32;
+                        let mut ad = 0i32;
+                        let mut saw_self = false;
+                        let mut comma = false;
+                        for (off, t) in toks[po..j.min(n)].iter().enumerate() {
+                            match &t.kind {
+                                TokKind::Punct('(') => pd += 1,
+                                TokKind::Punct(')') => {
+                                    pd -= 1;
+                                    if pd == 0 {
+                                        break;
+                                    }
+                                }
+                                TokKind::Punct('<') => ad += 1,
+                                TokKind::Punct('>') => {
+                                    let arrow =
+                                        off > 0 && toks[po + off - 1].kind == TokKind::Punct('-');
+                                    if !arrow {
+                                        ad -= 1;
+                                    }
+                                }
+                                TokKind::Punct(',') if pd == 1 && ad == 0 => comma = true,
+                                TokKind::Ident(s) if s == "self" && pd == 1 => saw_self = true,
+                                _ => {}
+                            }
+                        }
+                        self_only = saw_self && !comma;
+                    }
+                }
+                let body = (j < n && toks[j].kind == TokKind::Punct('{'))
+                    .then(|| (j, close_of(&pairs, j) + 1));
+                let qual = match impl_stack.last() {
+                    Some((_, ty)) => format!("{ty}::{name}"),
+                    None => name.clone(),
+                };
+                out.fns.push(FnItem {
+                    name,
+                    qual,
+                    line,
+                    has_mut_self,
+                    self_only,
+                    body,
+                });
+                // Continue *inside* the body: nested fns are items too.
+                i = j + 1;
+            }
+            _ => {
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn extracts_impl_qualified_fns() {
+        let src = "
+            impl<'t> RoutingAlgorithm for MinAdaptive<'t> {
+                fn next_output(&self, x: u32) -> u32 { helper(x) }
+            }
+            fn free(a: u32) {}
+        ";
+        let items = extract(&lex(src));
+        let quals: Vec<&str> = items.fns.iter().map(|f| f.qual.as_str()).collect();
+        assert_eq!(quals, vec!["MinAdaptive::next_output", "free"]);
+    }
+
+    #[test]
+    fn detects_mut_self_receiver() {
+        let src = "
+            impl S {
+                fn a(&self) {}
+                fn b(&mut self) {}
+                fn c(&'a mut self) {}
+                fn d(mut self) {}
+            }
+        ";
+        let items = extract(&lex(src));
+        let muts: Vec<bool> = items.fns.iter().map(|f| f.has_mut_self).collect();
+        assert_eq!(muts, vec![false, true, true, false]);
+    }
+
+    #[test]
+    fn fn_trait_bound_generics_do_not_break_signatures() {
+        let src = "fn apply<F: Fn(u32) -> u32>(f: F) -> [u8; 4] { todo_body() }";
+        let items = extract(&lex(src));
+        assert_eq!(items.fns.len(), 1);
+        assert!(items.fns[0].body.is_some());
+    }
+
+    #[test]
+    fn cfg_test_mod_ranges() {
+        let src = "
+            fn live() {}
+            #[cfg(test)]
+            mod tests {
+                fn helper() {}
+            }
+        ";
+        let items = extract(&lex(src));
+        assert_eq!(items.test_line_ranges.len(), 1);
+        let helper = items.fns.iter().find(|f| f.name == "helper").unwrap();
+        assert!(items.in_test_mod(helper.line));
+        let live = items.fns.iter().find(|f| f.name == "live").unwrap();
+        assert!(!items.in_test_mod(live.line));
+    }
+}

@@ -1,0 +1,387 @@
+//! A hand-rolled Rust lexer: the token stream every rule works from.
+//!
+//! The analyzer has no access to `syn` or any registry crate (the
+//! workspace vendors only rand/rayon/proptest/criterion), so the rules
+//! operate on a faithful lexical view instead of a parse tree. The
+//! lexer's one hard obligation is *never to confuse the three string
+//! universes*: code identifiers, string-literal contents, and comment
+//! text. A banned identifier inside a string literal (e.g. this crate's
+//! own rule tables) must not trip a rule, and suppression pragmas live
+//! only in comment text.
+//!
+//! Handled: line and (nested) block comments, doc comments, string /
+//! raw-string / byte-string / char / byte-char literals, lifetimes
+//! (disambiguated from char literals), numeric literals, identifiers
+//! and keywords, and single-character punctuation. Every token carries
+//! its 1-indexed source line.
+
+/// One lexical token with its 1-indexed source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// 1-indexed line the token starts on.
+    pub line: u32,
+    /// Token payload.
+    pub kind: TokKind,
+}
+
+/// Token payload kinds. Literal contents are deliberately dropped:
+/// rules must never match inside them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `fn`, `HashMap`, ...).
+    Ident(String),
+    /// A single punctuation character (`(`, `{`, `.`, `&`, `!`, ...).
+    Punct(char),
+    /// String / char / byte / numeric literal (contents dropped).
+    Literal,
+    /// A lifetime such as `'a` or `'static`.
+    Lifetime,
+}
+
+/// A comment with its text, for pragma extraction.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-indexed line the comment starts on.
+    pub line: u32,
+    /// Raw comment text without the `//` / `/*` markers.
+    pub text: String,
+}
+
+/// Full lexer output for one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// Sorted, deduplicated list of lines holding at least one code token.
+    pub fn code_lines(&self) -> Vec<u32> {
+        let mut lines: Vec<u32> = self.toks.iter().map(|t| t.line).collect();
+        lines.sort_unstable();
+        lines.dedup();
+        lines
+    }
+}
+
+/// Lexes `src`, splitting code tokens from comment text.
+///
+/// The lexer is total: any byte sequence produces *some* token stream
+/// (unterminated literals consume to end of file), so a syntactically
+/// broken fixture still yields deterministic diagnostics.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = b.len();
+    while i < n {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && b[i + 1] == '/' => {
+                let start = i + 2;
+                let mut j = start;
+                while j < n && b[j] != '\n' {
+                    j += 1;
+                }
+                out.comments.push(Comment {
+                    line,
+                    text: b[start..j].iter().collect(),
+                });
+                i = j;
+            }
+            '/' if i + 1 < n && b[i + 1] == '*' => {
+                // Nested block comment.
+                let start_line = line;
+                let start = i + 2;
+                let mut depth = 1u32;
+                let mut j = start;
+                while j < n && depth > 0 {
+                    if b[j] == '\n' {
+                        line += 1;
+                        j += 1;
+                    } else if b[j] == '/' && j + 1 < n && b[j + 1] == '*' {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == '*' && j + 1 < n && b[j + 1] == '/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                let end = j.saturating_sub(2).max(start);
+                out.comments.push(Comment {
+                    line: start_line,
+                    text: b[start..end].iter().collect(),
+                });
+                i = j;
+            }
+            '"' => {
+                let (j, nl) = scan_string(&b, i + 1);
+                out.toks.push(Tok {
+                    line,
+                    kind: TokKind::Literal,
+                });
+                line += nl;
+                i = j;
+            }
+            'r' | 'b' if starts_raw_or_byte_literal(&b, i) => {
+                let (j, nl, kind) = scan_prefixed_literal(&b, i);
+                out.toks.push(Tok { line, kind });
+                line += nl;
+                i = j;
+            }
+            '\'' => {
+                // Lifetime vs char literal: a lifetime is `'` + ident run
+                // NOT followed by a closing `'`.
+                let mut j = i + 1;
+                while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+                let is_lifetime = j > i + 1 && (j >= n || b[j] != '\'');
+                if is_lifetime {
+                    out.toks.push(Tok {
+                        line,
+                        kind: TokKind::Lifetime,
+                    });
+                    i = j;
+                } else {
+                    let (j, nl) = scan_char(&b, i + 1);
+                    out.toks.push(Tok {
+                        line,
+                        kind: TokKind::Literal,
+                    });
+                    line += nl;
+                    i = j;
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i + 1;
+                while j < n && (b[j].is_alphanumeric() || b[j] == '_' || b[j] == '.') {
+                    // Stop a float scan from eating a method call: `1.max(x)`.
+                    if b[j] == '.' && j + 1 < n && (b[j + 1].is_alphabetic() || b[j + 1] == '_') {
+                        break;
+                    }
+                    j += 1;
+                }
+                out.toks.push(Tok {
+                    line,
+                    kind: TokKind::Literal,
+                });
+                i = j;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut j = i + 1;
+                while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+                let ident: String = b[i..j].iter().collect();
+                out.toks.push(Tok {
+                    line,
+                    kind: TokKind::Ident(ident),
+                });
+                i = j;
+            }
+            c => {
+                out.toks.push(Tok {
+                    line,
+                    kind: TokKind::Punct(c),
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Whether position `i` starts a raw string (`r"`, `r#"`), byte string
+/// (`b"`, `br"`, `br#"`) or byte char (`b'`) rather than an identifier.
+fn starts_raw_or_byte_literal(b: &[char], i: usize) -> bool {
+    let n = b.len();
+    let c = b[i];
+    if c == 'r' {
+        let mut j = i + 1;
+        while j < n && b[j] == '#' {
+            j += 1;
+        }
+        j < n && b[j] == '"' && (j > i + 1 || b[i + 1] == '"')
+    } else {
+        // b"..."  b'...'  br"..."  br#"..."#
+        match b.get(i + 1) {
+            Some('"') | Some('\'') => true,
+            Some('r') => {
+                let mut j = i + 2;
+                while j < n && b[j] == '#' {
+                    j += 1;
+                }
+                j < n && b[j] == '"'
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Scans a literal starting with `r`/`b` at `i`; returns (next index,
+/// newline count, token kind).
+fn scan_prefixed_literal(b: &[char], i: usize) -> (usize, u32, TokKind) {
+    let n = b.len();
+    let mut j = i;
+    let mut raw = false;
+    if b[j] == 'b' {
+        j += 1;
+    }
+    if j < n && b[j] == 'r' {
+        raw = true;
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    while j < n && b[j] == '#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j < n && b[j] == '\'' {
+        let (k, nl) = scan_char(b, j + 1);
+        return (k, nl, TokKind::Literal);
+    }
+    debug_assert!(j >= n || b[j] == '"');
+    j += 1; // opening quote
+    let mut nl = 0u32;
+    if raw {
+        // Ends at `"` followed by `hashes` hashes; no escapes.
+        while j < n {
+            if b[j] == '\n' {
+                nl += 1;
+                j += 1;
+                continue;
+            }
+            if b[j] == '"' {
+                let mut k = j + 1;
+                let mut h = 0usize;
+                while k < n && h < hashes && b[k] == '#' {
+                    h += 1;
+                    k += 1;
+                }
+                if h == hashes {
+                    return (k, nl, TokKind::Literal);
+                }
+            }
+            j += 1;
+        }
+        (j, nl, TokKind::Literal)
+    } else {
+        let (k, nl) = scan_string(b, j);
+        (k, nl, TokKind::Literal)
+    }
+}
+
+/// Scans a non-raw string body starting just past the opening quote;
+/// returns (index past closing quote, newline count).
+fn scan_string(b: &[char], mut j: usize) -> (usize, u32) {
+    let n = b.len();
+    let mut nl = 0u32;
+    while j < n {
+        match b[j] {
+            '\\' => j += 2,
+            '\n' => {
+                nl += 1;
+                j += 1;
+            }
+            '"' => return (j + 1, nl),
+            _ => j += 1,
+        }
+    }
+    (j, nl)
+}
+
+/// Scans a char-literal body starting just past the opening quote;
+/// returns (index past closing quote, newline count).
+fn scan_char(b: &[char], mut j: usize) -> (usize, u32) {
+    let n = b.len();
+    let mut nl = 0u32;
+    while j < n {
+        match b[j] {
+            '\\' => j += 2,
+            '\n' => {
+                nl += 1;
+                j += 1;
+            }
+            '\'' => return (j + 1, nl),
+            _ => j += 1,
+        }
+    }
+    (j, nl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_identifiers() {
+        let src = r##"let x = "thread_rng inside a string"; let y = r#"HashMap "quoted" too"#;"##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|s| s == "thread_rng" || s == "HashMap"));
+        assert!(ids.iter().any(|s| s == "x"));
+    }
+
+    #[test]
+    fn comments_are_separated() {
+        let src = "// thread_rng in a comment\nfn f() {} /* block\nHashMap */";
+        let lx = lex(src);
+        assert!(!lx
+            .toks
+            .iter()
+            .any(|t| matches!(&t.kind, TokKind::Ident(s) if s == "thread_rng" || s == "HashMap")));
+        assert_eq!(lx.comments.len(), 2);
+        assert_eq!(lx.comments[0].line, 1);
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let lx = lex(src);
+        let lifetimes = lx
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        assert_eq!(lifetimes, 2);
+    }
+
+    #[test]
+    fn lines_survive_multiline_literals() {
+        let src = "let a = \"x\ny\";\nlet thread_rng_like = 1;";
+        let lx = lex(src);
+        let tok = lx
+            .toks
+            .iter()
+            .find(|t| matches!(&t.kind, TokKind::Ident(s) if s == "thread_rng_like"))
+            .expect("ident present");
+        assert_eq!(tok.line, 3);
+    }
+
+    #[test]
+    fn float_method_call_boundary() {
+        let ids = idents("let a = 1.max(2); let b = 1.5;");
+        assert!(ids.iter().any(|s| s == "max"));
+    }
+}

@@ -1,0 +1,78 @@
+//! `pf_analyze`: CLI front end for the determinism-contract analyzer.
+//!
+//! Usage: `pf_analyze [--root DIR] [--format text|json] [--out FILE]`.
+//! Exits nonzero when any unsuppressed violation exists — CI runs it as
+//! a required gate beside clippy and uploads the JSON report.
+
+// A CLI gate's diagnostics go to stdout by design.
+#![allow(clippy::print_stdout)]
+
+use pf_analysis::config::Config;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut format = String::from("text");
+    let mut out_file: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => {
+                let Some(v) = args.next() else {
+                    eprintln!("pf_analyze: --root needs a value");
+                    return ExitCode::from(2);
+                };
+                root = PathBuf::from(v);
+            }
+            "--format" => {
+                let Some(v) = args.next() else {
+                    eprintln!("pf_analyze: --format needs a value");
+                    return ExitCode::from(2);
+                };
+                format = v;
+            }
+            "--out" => {
+                let Some(v) = args.next() else {
+                    eprintln!("pf_analyze: --out needs a value");
+                    return ExitCode::from(2);
+                };
+                out_file = Some(PathBuf::from(v));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "pf_analyze — workspace determinism-contract static analyzer\n\n\
+                     USAGE: pf_analyze [--root DIR] [--format text|json] [--out FILE]\n\n\
+                     Exits 0 when every violation is pragma-suppressed, 1 otherwise.\n\
+                     --out writes the canonical JSON report regardless of --format."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("pf_analyze: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if format != "text" && format != "json" {
+        eprintln!("pf_analyze: --format must be `text` or `json`");
+        return ExitCode::from(2);
+    }
+
+    let report = pf_analysis::analyze(&root, &Config::workspace());
+    if let Some(path) = &out_file {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("pf_analyze: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    match format.as_str() {
+        "json" => print!("{}", report.to_json()),
+        _ => print!("{}", report.to_text()),
+    }
+    if report.unsuppressed() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,165 @@
+//! Suppression pragmas: `// pf-analyze: allow(<rule>) — <reason>`.
+//!
+//! A pragma is the *only* way to silence a rule, and it must carry a
+//! reason — the report records every suppression so reviewers see the
+//! full escape-hatch surface. A pragma applies to the line it shares
+//! with code, or — when it stands alone on a comment line — to the next
+//! line holding code. Malformed pragmas (unknown rule, missing reason)
+//! and pragmas that suppress nothing are themselves violations under
+//! the `pragma` meta-rule: a stale or typo'd allowance must not rot in
+//! the tree looking authoritative.
+
+use crate::lexer::Lexed;
+
+/// Marker the parser looks for inside comment text.
+const MARKER: &str = "pf-analyze:";
+
+/// One parsed suppression pragma.
+#[derive(Debug, Clone)]
+pub struct Pragma {
+    /// 1-indexed line of the comment holding the pragma.
+    pub line: u32,
+    /// Line whose violations it suppresses.
+    pub target_line: u32,
+    /// Rule ids listed in `allow(...)`.
+    pub rules: Vec<String>,
+    /// Mandatory justification after the dash.
+    pub reason: String,
+}
+
+/// A parse failure, reported as a `pragma` violation.
+#[derive(Debug, Clone)]
+pub struct PragmaError {
+    /// 1-indexed line of the malformed pragma.
+    pub line: u32,
+    /// What is wrong with it.
+    pub message: String,
+}
+
+/// Extracts every pragma from a file's comments. `known_rules` guards
+/// against typo'd rule ids; `code_lines` (sorted) resolves the target
+/// line for stand-alone pragma comments.
+pub fn extract(
+    lx: &Lexed,
+    known_rules: &[&str],
+    code_lines: &[u32],
+) -> (Vec<Pragma>, Vec<PragmaError>) {
+    let mut pragmas = Vec::new();
+    let mut errors = Vec::new();
+    for c in &lx.comments {
+        let Some(pos) = c.text.find(MARKER) else {
+            continue;
+        };
+        // Doc comments *describing* the pragma syntax wrap it in
+        // backticks; an odd backtick count before the marker means it
+        // is inline code, not a directive.
+        if c.text[..pos].chars().filter(|&b| b == '`').count() % 2 == 1 {
+            continue;
+        }
+        let rest = c.text[pos + MARKER.len()..].trim_start();
+        match parse_body(rest, known_rules) {
+            Ok((rules, reason)) => {
+                let has_code_here = code_lines.binary_search(&c.line).is_ok();
+                let target_line = if has_code_here {
+                    c.line
+                } else {
+                    // First code line strictly after the comment.
+                    match code_lines.binary_search(&(c.line + 1)) {
+                        Ok(i) => code_lines[i],
+                        Err(i) => code_lines.get(i).copied().unwrap_or(c.line),
+                    }
+                };
+                pragmas.push(Pragma {
+                    line: c.line,
+                    target_line,
+                    rules,
+                    reason,
+                });
+            }
+            Err(message) => errors.push(PragmaError {
+                line: c.line,
+                message,
+            }),
+        }
+    }
+    (pragmas, errors)
+}
+
+/// Parses `allow(rule[, rule]*) <dash> <reason>`.
+fn parse_body(rest: &str, known_rules: &[&str]) -> Result<(Vec<String>, String), String> {
+    let rest = rest
+        .strip_prefix("allow")
+        .ok_or_else(|| "expected `allow(<rule>)` after `pf-analyze:`".to_string())?;
+    let rest = rest.trim_start();
+    let rest = rest
+        .strip_prefix('(')
+        .ok_or_else(|| "expected `(` after `allow`".to_string())?;
+    let close = rest
+        .find(')')
+        .ok_or_else(|| "unclosed `allow(` rule list".to_string())?;
+    let list = &rest[..close];
+    let mut rules = Vec::new();
+    for raw in list.split(',') {
+        let rule = raw.trim();
+        if rule.is_empty() {
+            return Err("empty rule id in `allow(...)`".to_string());
+        }
+        if !known_rules.contains(&rule) {
+            return Err(format!("unknown rule `{rule}` in `allow(...)`"));
+        }
+        rules.push(rule.to_string());
+    }
+    let after = rest[close + 1..].trim_start();
+    // Accept an em dash or one-or-more ASCII hyphens as the separator.
+    let reason = after
+        .strip_prefix('—')
+        .or_else(|| after.strip_prefix('-').map(|a| a.trim_start_matches('-')))
+        .map(str::trim)
+        .unwrap_or("");
+    if reason.is_empty() {
+        return Err("missing reason: `pf-analyze: allow(<rule>) — <reason>`".to_string());
+    }
+    Ok((rules, reason.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    const RULES: &[&str] = &["wall-clock-ban", "rng-discipline"];
+
+    #[test]
+    fn same_line_pragma_targets_itself() {
+        let src =
+            "use std::time::Instant; // pf-analyze: allow(wall-clock-ban) — observability only\n";
+        let lx = lex(src);
+        let (ps, es) = extract(&lx, RULES, &lx.code_lines());
+        assert!(es.is_empty());
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps[0].target_line, 1);
+        assert_eq!(ps[0].reason, "observability only");
+    }
+
+    #[test]
+    fn standalone_pragma_targets_next_code_line() {
+        let src =
+            "// pf-analyze: allow(rng-discipline, wall-clock-ban) - both fine here\n\nlet x = 1;\n";
+        let lx = lex(src);
+        let (ps, es) = extract(&lx, RULES, &lx.code_lines());
+        assert!(es.is_empty());
+        assert_eq!(ps[0].target_line, 3);
+        assert_eq!(ps[0].rules.len(), 2);
+    }
+
+    #[test]
+    fn missing_reason_and_unknown_rule_are_errors() {
+        let src = "// pf-analyze: allow(wall-clock-ban)\n// pf-analyze: allow(no-such-rule) — x\n";
+        let lx = lex(src);
+        let (ps, es) = extract(&lx, RULES, &lx.code_lines());
+        assert!(ps.is_empty());
+        assert_eq!(es.len(), 2);
+        assert!(es[0].message.contains("missing reason"));
+        assert!(es[1].message.contains("unknown rule"));
+    }
+}

@@ -1,0 +1,220 @@
+//! Diagnostics and the deterministic report.
+//!
+//! The JSON report is a merge artifact: it must be byte-identical for
+//! identical inputs (pinned by an integration test), so it carries no
+//! timestamps or absolute paths, every collection is sorted, and all
+//! serialization is hand-rolled here — no float formatting, no map
+//! iteration order to trust.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One rule violation (possibly suppressed by a pragma).
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Rule id (one of [`crate::config::RULES`]).
+    pub rule: &'static str,
+    /// Workspace-relative `/`-separated path.
+    pub file: String,
+    /// 1-indexed line.
+    pub line: u32,
+    /// Human-readable diagnostic.
+    pub message: String,
+    /// `Some(reason)` when an inline pragma suppresses it.
+    pub suppressed: Option<String>,
+}
+
+/// A recorded suppression pragma (kept in the report even though its
+/// violation is silenced — the escape-hatch surface stays reviewable).
+#[derive(Debug, Clone)]
+pub struct ReportPragma {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-indexed line of the pragma comment.
+    pub line: u32,
+    /// Rule ids it allows.
+    pub rules: Vec<String>,
+    /// Its justification.
+    pub reason: String,
+}
+
+/// Full analyzer output.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Every violation, sorted by (file, line, rule, message).
+    pub violations: Vec<Violation>,
+    /// Every pragma, sorted by (file, line).
+    pub pragmas: Vec<ReportPragma>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Sorts the report into its canonical order and collapses
+    /// duplicate findings (two banned tokens on one line say one thing).
+    pub fn finalize(&mut self) {
+        self.violations.sort_by(|a, b| {
+            (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
+        });
+        self.violations.dedup_by(|a, b| {
+            a.rule == b.rule && a.file == b.file && a.line == b.line && a.message == b.message
+        });
+        self.pragmas
+            .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    }
+
+    /// Violations not silenced by a pragma.
+    pub fn unsuppressed(&self) -> usize {
+        self.violations
+            .iter()
+            .filter(|v| v.suppressed.is_none())
+            .count()
+    }
+
+    /// Human-readable diagnostics, one line per finding.
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        for v in &self.violations {
+            match &v.suppressed {
+                None => {
+                    let _ = writeln!(s, "{}:{}: [{}] {}", v.file, v.line, v.rule, v.message);
+                }
+                Some(reason) => {
+                    let _ = writeln!(
+                        s,
+                        "{}:{}: [{}] suppressed: {} (reason: {})",
+                        v.file, v.line, v.rule, v.message, reason
+                    );
+                }
+            }
+        }
+        let _ = writeln!(
+            s,
+            "pf_analyze: {} file(s), {} violation(s), {} suppressed, {} unsuppressed",
+            self.files_scanned,
+            self.violations.len(),
+            self.violations.len() - self.unsuppressed(),
+            self.unsuppressed()
+        );
+        s
+    }
+
+    /// Canonical JSON: sorted, timestamp-free, byte-stable.
+    pub fn to_json(&self) -> String {
+        let mut by_rule: BTreeMap<&str, (usize, usize)> = BTreeMap::new();
+        for v in &self.violations {
+            let e = by_rule.entry(v.rule).or_insert((0, 0));
+            e.0 += 1;
+            if v.suppressed.is_none() {
+                e.1 += 1;
+            }
+        }
+        let mut s = String::new();
+        s.push_str("{\n  \"tool\": \"pf_analyze\",\n  \"version\": \"0.1.0\",\n");
+        let _ = writeln!(s, "  \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(
+            s,
+            "  \"summary\": {{\"total\": {}, \"suppressed\": {}, \"unsuppressed\": {}}},",
+            self.violations.len(),
+            self.violations.len() - self.unsuppressed(),
+            self.unsuppressed()
+        );
+        s.push_str("  \"by_rule\": {");
+        for (i, (rule, (total, unsup))) in by_rule.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(
+                s,
+                "{}: {{\"total\": {total}, \"unsuppressed\": {unsup}}}",
+                json_str(rule)
+            );
+        }
+        s.push_str("},\n  \"violations\": [");
+        for (i, v) in self.violations.iter().enumerate() {
+            s.push_str(if i > 0 { ",\n    " } else { "\n    " });
+            let _ = write!(
+                s,
+                "{{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}, \"suppressed\": {}, \"reason\": {}}}",
+                json_str(v.rule),
+                json_str(&v.file),
+                v.line,
+                json_str(&v.message),
+                v.suppressed.is_some(),
+                v.suppressed.as_deref().map_or("null".to_string(), json_str)
+            );
+        }
+        s.push_str("\n  ],\n  \"pragmas\": [");
+        for (i, p) in self.pragmas.iter().enumerate() {
+            s.push_str(if i > 0 { ",\n    " } else { "\n    " });
+            let rules: Vec<String> = p.rules.iter().map(|r| json_str(r)).collect();
+            let _ = write!(
+                s,
+                "{{\"file\": {}, \"line\": {}, \"rules\": [{}], \"reason\": {}}}",
+                json_str(&p.file),
+                p.line,
+                rules.join(", "),
+                json_str(&p.reason)
+            );
+        }
+        s.push_str("\n  ]\n}\n");
+        s
+    }
+}
+
+/// JSON string escaping (quotes, backslashes, control characters).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_sorted_and_stable() {
+        let mut r = Report {
+            violations: vec![
+                Violation {
+                    rule: "unsafe-ban",
+                    file: "b.rs".into(),
+                    line: 2,
+                    message: "x".into(),
+                    suppressed: None,
+                },
+                Violation {
+                    rule: "rng-discipline",
+                    file: "a.rs".into(),
+                    line: 9,
+                    message: "quote \" here".into(),
+                    suppressed: Some("ok".into()),
+                },
+            ],
+            pragmas: vec![],
+            files_scanned: 2,
+        };
+        r.finalize();
+        assert_eq!(r.violations[0].file, "a.rs");
+        assert_eq!(r.unsuppressed(), 1);
+        let j1 = r.to_json();
+        let j2 = r.to_json();
+        assert_eq!(j1, j2);
+        assert!(j1.contains("\\\""));
+    }
+}

@@ -1,0 +1,9 @@
+//! fixture: wall-clock-ban — host time outside the bench harness.
+
+use std::time::Instant;
+
+fn timed() -> u128 {
+    // pf-analyze: allow(wall-clock-ban) — fixture: a justified observability site
+    let t0 = Instant::now();
+    t0.elapsed().as_nanos()
+}

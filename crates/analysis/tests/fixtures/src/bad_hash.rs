@@ -1,0 +1,21 @@
+//! fixture: ordered-iteration — hash collections in library code.
+
+use std::collections::HashMap;
+
+fn tally(xs: &[u32]) -> usize {
+    let mut m: HashMap<u32, u32> = HashMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m.len()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn hashing_in_tests_is_exempt() {
+        let mut s = std::collections::HashSet::new();
+        s.insert(1u32);
+        assert_eq!(s.len(), 1);
+    }
+}

@@ -1,0 +1,13 @@
+//! fixture: rng-discipline — entropy sources are banned.
+
+use rand::thread_rng;
+
+fn draw() -> u32 {
+    let mut _r = thread_rng();
+    0
+}
+
+fn entropy_seeded() -> u32 {
+    let _r = StdRng::from_entropy();
+    0
+}

@@ -1,0 +1,5 @@
+//! fixture: unsafe-ban.
+
+fn peek(v: &[u32]) -> u32 {
+    unsafe { *v.get_unchecked(0) }
+}

@@ -1,0 +1,5 @@
+//! fixture: clean — no diagnostics.
+
+pub fn add(a: u32, b: u32) -> u32 {
+    a + b
+}

@@ -1,0 +1,19 @@
+//! fixture: panic-discipline — a hot-path module (per fixture config).
+
+fn pick(v: &[u32]) -> u32 {
+    let x = v.first().unwrap();
+    assert!(*x < 9, "fixture invariant");
+    if *x == 7 {
+        panic!("lucky sevens");
+    }
+    *x
+}
+
+fn masked(v: &[u32]) -> u32 {
+    debug_assert_eq!(v.iter().copied().min().unwrap(), v[0]);
+    v[0]
+}
+
+fn expected(v: &[u32]) -> u32 {
+    *v.last().expect("fixture: nonempty")
+}

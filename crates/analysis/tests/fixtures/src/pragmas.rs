@@ -1,0 +1,13 @@
+//! fixture: pragma meta-rule — malformed, unused, and justified pragmas.
+
+// pf-analyze: allow(rng-discipline)
+use rand::thread_rng;
+
+// pf-analyze: allow(unsafe-ban) — nothing unsafe here, deliberately stale
+fn noop() {}
+
+fn seeded() -> u32 {
+    // pf-analyze: allow(rng-discipline) — fixture: justified entropy use
+    let _r = thread_rng();
+    0
+}

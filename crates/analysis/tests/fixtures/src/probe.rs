@@ -1,0 +1,20 @@
+//! fixture: probe-purity — mutation and RNG reachable from a probe root.
+
+pub struct Net {
+    credits: u32,
+}
+
+impl Net {
+    fn consume(&mut self) {
+        self.credits -= 1;
+    }
+
+    fn jitter(&self, rng: &mut SomeRng) -> u32 {
+        rng.gen_range(0..4)
+    }
+}
+
+fn route_probe(net: &mut Net, rng: &mut SomeRng) -> u32 {
+    net.consume();
+    net.jitter(rng)
+}

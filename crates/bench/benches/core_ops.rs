@@ -1,6 +1,8 @@
 //! Criterion microbenchmarks for the hot algebraic paths: finite-field
 //! arithmetic, cross-product routing, and ER_q construction.
 
+#![allow(missing_docs)] // criterion_group! expands to undocumented items
+
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use pf_galois::{Gf, V3};
 use polarfly::routing::MinRouteTable;

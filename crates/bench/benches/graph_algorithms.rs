@@ -1,6 +1,8 @@
 //! Criterion benchmarks for the graph substrate: BFS/APSP, triangles,
 //! bisection, and random-regular generation at evaluation scale.
 
+#![allow(missing_docs)] // criterion_group! expands to undocumented items
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use pf_graph::{bfs, partition, random_regular, triangles, DistanceMatrix};
 use polarfly::PolarFly;

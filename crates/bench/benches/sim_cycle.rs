@@ -11,6 +11,8 @@
 //! Run with `CRITERION_JSON=BENCH_sim.json cargo bench -p pf-bench
 //! --bench sim_cycle` to refresh the committed baseline.
 
+#![allow(missing_docs)] // criterion_group! expands to undocumented items
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use pf_sim::engine::{Engine, SimConfig};
 use pf_sim::tables::RouteTables;

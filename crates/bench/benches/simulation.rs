@@ -1,6 +1,8 @@
 //! Criterion benchmarks for the cycle engine: simulated cycles per second
 //! at low and near-saturation load on a mid-size PolarFly.
 
+#![allow(missing_docs)] // criterion_group! expands to undocumented items
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use pf_sim::engine::{Engine, SimConfig};
 use pf_sim::tables::RouteTables;

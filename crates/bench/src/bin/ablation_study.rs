@@ -6,6 +6,8 @@
 //! 4. Compact Valiant vs full Valiant path lengths and throughput;
 //! 5. bisection: spectral+FM vs FM-from-random-seeds only.
 
+#![allow(clippy::print_stdout)] // figure/table emitters print their artifact
+
 use pf_graph::partition;
 use pf_sim::engine::{simulate, SimConfig};
 use pf_sim::tables::RouteTables;

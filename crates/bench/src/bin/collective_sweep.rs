@@ -30,6 +30,8 @@
 //! * produces a nondeterministic makespan across identical runs, or
 //! * is vacuous (no messages anywhere).
 
+#![allow(clippy::print_stdout)] // figure/table emitters print their artifact
+
 use pf_bench::jsonl::Row;
 use pf_sim::{load_curve, simulate_workload, Routing, SimConfig, SimResult, TrafficPattern};
 use pf_topo::{PolarFlyTopo, SlimFly, Topology};

@@ -1,6 +1,8 @@
 //! Figure 1: design space of feasible network radixes for PolarFly,
 //! Slim Fly, and PolarFly+ (the union of both design spaces).
 
+#![allow(clippy::print_stdout)] // figure/table emitters print their artifact
+
 use polarfly::feasibility;
 
 fn main() {

@@ -1,6 +1,8 @@
 //! Figure 2: scalability of direct diameter-2 topologies as a percentage
 //! of the Moore bound N <= 1 + k².
 
+#![allow(clippy::print_stdout)] // figure/table emitters print their artifact
+
 use polarfly::feasibility;
 
 fn main() {

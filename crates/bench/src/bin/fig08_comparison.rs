@@ -8,6 +8,8 @@
 //!
 //! Run a single panel by passing its name as the first argument.
 
+#![allow(clippy::print_stdout)] // figure/table emitters print their artifact
+
 use pf_bench::{comparison_topologies, load_points, print_curve_rows, sim_config};
 use pf_sim::sweep::load_curve;
 use pf_sim::{Routing, TrafficPattern};

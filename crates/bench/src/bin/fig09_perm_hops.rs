@@ -1,6 +1,8 @@
 //! Figure 9: PolarFly under the Perm2Hop and Perm1Hop adversarial
 //! permutations with MIN, UGAL, and UGAL-PF routing.
 
+#![allow(clippy::print_stdout)] // figure/table emitters print their artifact
+
 use pf_bench::{load_points, print_curve_rows, sim_config};
 use pf_sim::sweep::load_curve;
 use pf_sim::{Routing, TrafficPattern};

@@ -2,6 +2,8 @@
 //! instances q = 13, 19, 25, 31 under uniform traffic with MIN and
 //! UGAL-PF routing.
 
+#![allow(clippy::print_stdout)] // figure/table emitters print their artifact
+
 use pf_bench::{load_points, print_curve_rows, sim_config};
 use pf_sim::sweep::load_curve;
 use pf_sim::{Routing, TrafficPattern};

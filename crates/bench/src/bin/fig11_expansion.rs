@@ -3,6 +3,8 @@
 //! growth (paper: quadric replication loses ~31% throughput at +39%,
 //! non-quadric only ~19%, flat after the first replication).
 
+#![allow(clippy::print_stdout)] // figure/table emitters print their artifact
+
 use pf_bench::{load_points, print_curve_rows, sim_config};
 use pf_sim::sweep::load_curve;
 use pf_sim::{Routing, TrafficPattern};

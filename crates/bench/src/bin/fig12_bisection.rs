@@ -3,6 +3,8 @@
 //! construction). Partitioner: spectral + Fiduccia–Mattheyses (METIS
 //! substitute, see DESIGN.md).
 
+#![allow(clippy::print_stdout)] // figure/table emitters print their artifact
+
 use pf_graph::partition::bisection_cut_fraction;
 use pf_topo::{Dragonfly, Jellyfish, SlimFly, Topology};
 use polarfly::PolarFly;

@@ -2,6 +2,8 @@
 //! and the q mod 4 pairing of V1/V2 vertices, exported via
 //! `polarfly::export` as DOT + JSON plus textual statistics.
 
+#![allow(clippy::print_stdout)] // figure/table emitters print their artifact
+
 use polarfly::export::{to_dot, to_json};
 use polarfly::{Layout, PolarFly};
 

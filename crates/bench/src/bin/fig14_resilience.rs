@@ -2,6 +2,8 @@
 //! the link-failure ratio (median of seeded random-failure trials), plus
 //! the median disconnection ratio per topology.
 
+#![allow(clippy::print_stdout)] // figure/table emitters print their artifact
+
 use pf_bench::comparison_topologies;
 use pf_graph::failures::median_failure_trial;
 

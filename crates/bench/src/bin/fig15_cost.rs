@@ -1,6 +1,8 @@
 //! Figure 15: network cost per node normalized to PolarFly under
 //! iso-injection-bandwidth constraints (co-packaged optical IO counting).
 
+#![allow(clippy::print_stdout)] // figure/table emitters print their artifact
+
 use polarfly::cost::{paper_configuration, relative_costs, TrafficScenario};
 
 fn main() {

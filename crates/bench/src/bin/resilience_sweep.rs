@@ -24,6 +24,8 @@
 //! packets fail to drain, and at 10% load congestion cannot explain that
 //! — only a routing bug (misroute, livelock, dead-link traversal) can.
 
+#![allow(clippy::print_stdout)] // figure/table emitters print their artifact
+
 use pf_bench::jsonl::Row;
 use pf_graph::FailureSet;
 use pf_sim::{load_curve, Routing, SimConfig, TrafficPattern};

@@ -3,6 +3,8 @@
 //! with their commands rather than executed — they take minutes to hours;
 //! see EXPERIMENTS.md for recorded results).
 
+#![allow(clippy::print_stdout)] // figure/table emitters print their artifact
+
 use std::process::Command;
 
 fn main() {

@@ -1,5 +1,7 @@
 //! Table I: qualitative feasibility of candidate data-center topologies.
 
+#![allow(clippy::print_stdout)] // figure/table emitters print their artifact
+
 use pf_topo::traits::{feasibility_table, Support};
 
 fn sym(s: Support) -> &'static str {

@@ -1,6 +1,8 @@
 //! Table III: class of the alternative-2-hop-path intermediate between
 //! adjacent non-quadric vertices, as a function of q mod 4.
 
+#![allow(clippy::print_stdout)] // figure/table emitters print their artifact
+
 use polarfly::triangles::{intermediate_type_table, verify_intermediate_types};
 use polarfly::{PolarFly, VertexClass};
 

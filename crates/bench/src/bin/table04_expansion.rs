@@ -1,6 +1,8 @@
 //! Table IV: characteristics of the two incremental-expansion methods,
 //! measured on expanded instances.
 
+#![allow(clippy::print_stdout)] // figure/table emitters print their artifact
+
 use polarfly::expansion::{replicate_non_quadric, replicate_quadric, stats};
 use polarfly::{Layout, PolarFly};
 

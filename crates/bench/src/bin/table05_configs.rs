@@ -1,5 +1,7 @@
 //! Table V: the simulated configurations — constructed and verified.
 
+#![allow(clippy::print_stdout)] // figure/table emitters print their artifact
+
 use pf_bench::comparison_topologies;
 use pf_graph::bfs;
 

@@ -27,6 +27,8 @@
 //!   under drop-and-retransmit, or no table swap in a faulted run —
 //!   a vacuous sweep is a broken sweep).
 
+#![allow(clippy::print_stdout)] // figure/table emitters print their artifact
+
 use pf_bench::jsonl::Row;
 use pf_graph::FaultSchedule;
 use pf_sim::{load_curve, InFlightPolicy, Routing, SimConfig, TrafficPattern};

@@ -224,7 +224,7 @@ pub fn stats(pf: &PolarFly, ex: &Expanded) -> ExpansionStats {
     } else {
         f64::INFINITY
     };
-    let base_edges: std::collections::HashSet<(u32, u32)> =
+    let base_edges: std::collections::BTreeSet<(u32, u32)> =
         pf.graph().edges().iter().copied().collect();
     let rewired = ex
         .graph

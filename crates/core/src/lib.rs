@@ -1,4 +1,3 @@
-#![deny(missing_docs)]
 //! # PolarFly — a cost-effective and flexible low-diameter topology
 //!
 //! Reproduction of *PolarFly* (Lakhotia, Besta, Monroe, Isham, Iff,

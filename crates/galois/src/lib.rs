@@ -1,4 +1,3 @@
-#![deny(missing_docs)]
 //! Finite-field arithmetic and projective geometry for PolarFly.
 //!
 //! The Erdős–Rényi polarity graph `ER_q` underlying PolarFly is defined by

@@ -1,4 +1,3 @@
-#![deny(missing_docs)]
 //! Graph-algorithms substrate for the PolarFly reproduction.
 //!
 //! Every structural experiment in the paper (diameter/ASPL measurements,

@@ -11,7 +11,7 @@ use crate::csr::Csr;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Generates a connected random `k`-regular graph on `n` vertices.
 ///
@@ -51,7 +51,7 @@ fn try_build(n: usize, k: usize, rng: &mut StdRng) -> Option<Csr> {
 
     // Repair pass: swap bad edges (self-loops / duplicates) with random
     // good ones. Each successful swap strictly reduces the bad count.
-    let mut seen: HashSet<(u32, u32)> = HashSet::with_capacity(edges.len());
+    let mut seen: BTreeSet<(u32, u32)> = BTreeSet::new();
     let mut bad: Vec<usize> = Vec::new();
     let mut is_bad = vec![false; edges.len()];
     for (i, &e) in edges.iter().enumerate() {

@@ -15,7 +15,7 @@
 use crate::tables::RouteTables;
 use crate::traffic::DestMap;
 use pf_topo::Topology;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Fluid-model analysis of one (topology, pattern) pair under MIN routing.
 #[derive(Debug, Clone)]
@@ -35,8 +35,8 @@ pub struct FluidAnalysis {
 /// hosts, `Fixed` concentrates them on the pattern destination.
 pub fn analyze(topo: &dyn Topology, tables: &RouteTables, dests: &DestMap) -> FluidAnalysis {
     let hosts = topo.host_routers();
-    let mut link_load: HashMap<(u32, u32), f64> = HashMap::new();
-    let route_flow = |s: u32, d: u32, rate: f64, link_load: &mut HashMap<(u32, u32), f64>| {
+    let mut link_load: BTreeMap<(u32, u32), f64> = BTreeMap::new();
+    let route_flow = |s: u32, d: u32, rate: f64, link_load: &mut BTreeMap<(u32, u32), f64>| {
         let mut cur = s;
         while cur != d {
             let nx = tables.next_hop(cur, d);

@@ -276,11 +276,13 @@ impl<'a> Engine<'a> {
                 let iu = g
                     .neighbors(u)
                     .binary_search(&v)
+                    // pf-analyze: allow(panic-discipline) — construction-time check of the failure set; a non-edge here is a topology bug caught before any cycle runs
                     .expect("failed link must be a graph edge");
                 link_up[geom.downstream(u, iu) as usize] = false;
                 let iv = g
                     .neighbors(v)
                     .binary_search(&u)
+                    // pf-analyze: allow(panic-discipline) — construction-time check of the failure set; a non-edge here is a topology bug caught before any cycle runs
                     .expect("failed link must be a graph edge");
                 link_up[geom.downstream(v, iv) as usize] = false;
                 degraded = true;
@@ -509,13 +511,18 @@ impl<'a> Engine<'a> {
             "run_workload without attach_workload"
         );
         let deadline = self.cfg.workload_deadline;
-        loop {
+        let driver = loop {
             self.step();
-            if self.workload.as_ref().unwrap().done() || self.cycle >= deadline {
-                break;
+            let done = self.workload.as_ref().is_none_or(|d| d.done());
+            if done || self.cycle >= deadline {
+                match self.workload.take() {
+                    Some(d) => break d,
+                    // Unreachable past the entry assert; degrade to an
+                    // empty saturated result rather than panic mid-run.
+                    None => return self.pack_result(0.0, 0.0, true, Vec::new()),
+                }
             }
-        }
-        let driver = self.workload.take().unwrap();
+        };
         let makespan = driver.global_makespan();
         let payload = driver.delivered_payload_flits();
         let accepted = makespan.map_or(0.0, |m| {
@@ -588,6 +595,13 @@ impl<'a> Engine<'a> {
     /// probe observes a consistent fault epoch.
     fn step_sharded(&mut self) {
         use crate::shard::ProbePhase;
+        // The runtime is detached up front so the probe workers can
+        // share `&self` while the mailboxes are written mutably; if it
+        // is ever absent, the serial schedule is the same computation.
+        let Some(mut rt) = self.shard_rt.take() else {
+            self.step_serial();
+            return;
+        };
         let cycle = self.cycle;
         if self.transient {
             self.apply_fault_events(cycle);
@@ -603,10 +617,6 @@ impl<'a> Engine<'a> {
         } else if cycle < self.cfg.gen_cutoff {
             self.generate(cycle);
         }
-
-        // The runtime is detached while phases run so the probe workers
-        // can share `&self` while the mailboxes are written mutably.
-        let mut rt = self.shard_rt.take().expect("sharded step without runtime");
 
         rt.probe(self, cycle, ProbePhase::Eject);
         self.commit_ejects(&mut rt, cycle);

@@ -68,10 +68,11 @@ impl Engine<'_> {
     /// gate the release: the packets queue at the source and inject
     /// once it repairs, exactly like retransmitted victims.
     pub(crate) fn workload_release(&mut self, cycle: u32) {
-        let mut driver = self
-            .workload
-            .take()
-            .expect("workload_release without driver");
+        let Some(mut driver) = self.workload.take() else {
+            // Open-loop runs never reach here (the step loop gates on
+            // `workload.is_some()`); releasing with no driver is a no-op.
+            return;
+        };
         for rel in driver.poll(cycle) {
             for _ in 0..rel.packets {
                 let id = self.admit_packet(rel.src, rel.dst, cycle, true);

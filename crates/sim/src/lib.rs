@@ -1,4 +1,3 @@
-#![deny(missing_docs)]
 //! Cycle-accurate flit-level interconnection-network simulator — the
 //! BookSim substitute behind Figs. 8–11 of the PolarFly paper.
 //!

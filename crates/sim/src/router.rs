@@ -48,6 +48,7 @@ impl PortMap {
         let mut out_link = vec![0u32; num_ports];
         for r in 0..n as u32 {
             for (i, &t) in g.neighbors(r).iter().enumerate() {
+                // pf-analyze: allow(panic-discipline) — construction-time symmetry check; Csr stores both directions of every edge, and a panic at build beats a silent misroute
                 let j = g.neighbors(t).binary_search(&r).expect("undirected graph") as u32;
                 out_link[(port_base[r as usize] + i as u32) as usize] = port_base[t as usize] + j;
             }
@@ -61,7 +62,7 @@ impl PortMap {
     /// Total number of (directed) input ports.
     #[inline]
     pub fn num_ports(&self) -> usize {
-        *self.port_base.last().unwrap() as usize
+        self.port_base.last().map_or(0, |&p| p as usize)
     }
 
     /// Input-port id range `[lo, hi)` of router `r`.

@@ -73,6 +73,7 @@ impl NetState<'_> {
         self.graph
             .neighbors(r)
             .binary_search(&t)
+            // pf-analyze: allow(panic-discipline) — route tables only ever name graph neighbors; a miss is a table-construction bug where a panic beats a silent misroute
             .expect("next hop must be a neighbor")
     }
 
@@ -471,6 +472,7 @@ impl RoutingAlgorithm for MinAdaptive {
             } else if occ == best_occ {
                 ties += 1;
                 // Reservoir sampling keeps the choice uniform over ties.
+                // pf-analyze: allow(probe-purity) — MinAdaptive::uses_rng_in_transit() forces the serial schedule, so this draw never runs inside a probe worker
                 if rng.gen_range(0..ties) == 0 {
                     best = i as Port;
                 }

@@ -52,6 +52,7 @@ use pf_graph::partition::partition_k;
 use pf_graph::Csr;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+// pf-analyze: allow(wall-clock-ban) — barrier-wait observability (ShardObs) only; timings never feed simulated state or results
 use std::time::{Duration, Instant};
 
 /// Random-restart budget for the build-time partition. The partition
@@ -224,6 +225,7 @@ impl ShardRuntime {
     /// join is the cycle barrier; the master's wait for stragglers is
     /// accumulated into shard 0's `barrier_wait_ns`.
     pub(crate) fn probe(&mut self, eng: &Engine<'_>, cycle: u32, phase: ProbePhase) {
+        // pf-analyze: allow(wall-clock-ban) — measures master barrier wait for ShardObs; excluded from the parity contract
         let t0 = Instant::now();
         let mut self_done = Duration::ZERO;
         let (master, rest) = self.stages.split_at_mut(1);

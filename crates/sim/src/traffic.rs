@@ -271,7 +271,7 @@ pub fn resolve(pattern: TrafficPattern, g: &Csr, hosts: &[u32], seed: u64) -> De
             } else {
                 2
             };
-            let host_index: std::collections::HashMap<u32, u32> = hosts
+            let host_index: std::collections::BTreeMap<u32, u32> = hosts
                 .iter()
                 .enumerate()
                 .map(|(i, &r)| (r, i as u32))

@@ -1,4 +1,3 @@
-#![deny(missing_docs)]
 //! Baseline interconnect topologies for the PolarFly evaluation (§VIII).
 //!
 //! Every comparison target of the paper is constructed from scratch:

@@ -1,4 +1,3 @@
-#![deny(missing_docs)]
 //! Application workload models for closed-loop network simulation.
 //!
 //! The cycle simulator in `pf_sim` natively speaks open-loop Bernoulli

@@ -7,6 +7,8 @@
 //! cargo run --release --example design_explorer -- 48 2000
 //! ```
 
+#![allow(clippy::print_stdout)] // examples narrate to stdout
+
 use pf_galois::primes;
 use polarfly::cost::{paper_configuration, relative_costs, TrafficScenario};
 use polarfly::feasibility;

@@ -6,6 +6,8 @@
 //! cargo run --release --example expansion
 //! ```
 
+#![allow(clippy::print_stdout)] // examples narrate to stdout
+
 use polarfly::expansion::{replicate_non_quadric, replicate_quadric, stats};
 use polarfly::{Layout, PolarFly};
 

@@ -4,6 +4,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
+#![allow(clippy::print_stdout)] // examples narrate to stdout
+
 use polarfly::{Layout, PolarFly, VertexClass};
 
 fn main() {

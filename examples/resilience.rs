@@ -6,6 +6,8 @@
 //! cargo run --release --example resilience
 //! ```
 
+#![allow(clippy::print_stdout)] // examples narrate to stdout
+
 use pf_graph::failures::{failure_trial, median_failure_trial};
 use polarfly::paths::measured_diversity;
 use polarfly::PolarFly;

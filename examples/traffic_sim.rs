@@ -6,6 +6,8 @@
 //! cargo run --release --example traffic_sim
 //! ```
 
+#![allow(clippy::print_stdout)] // examples narrate to stdout
+
 use pf_sim::engine::{simulate, SimConfig};
 use pf_sim::tables::RouteTables;
 use pf_sim::traffic::{resolve, TrafficPattern};
