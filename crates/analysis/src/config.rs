@@ -112,7 +112,7 @@ impl Config {
             purity_scope: Scope::of(CRATE_SRC).without(&["crates/bench/"]),
             hot_path_files: [
                 "alloc", "engine", "flow", "inject", "order", "packet", "phase", "queues",
-                "router", "routing", "shard", "tables",
+                "router", "routing", "shard", "skip", "tables",
             ]
             .iter()
             .map(|m| format!("crates/sim/src/{m}.rs"))
@@ -121,6 +121,9 @@ impl Config {
                 "route_probe".to_string(),
                 "probe_transit_shard".to_string(),
                 "probe_eject_shard".to_string(),
+                // Skip predicates the probe workers consult (perf-only
+                // filters whose reads must stay pure in probe context).
+                "is_awake".to_string(),
             ],
         }
     }

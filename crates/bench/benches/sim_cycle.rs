@@ -69,6 +69,43 @@ fn single_cycle(c: &mut Criterion) {
     grp.finish();
 }
 
+/// Dense-vs-skip step cost on the serial path (`SimConfig::skip`): the
+/// standard rows above run with skipping on (the default), so these
+/// pin the dense reference next to them. At load 0.2 every router
+/// carries traffic each cycle and the win is the occupancy-mask scans
+/// only; the low-load 0.02 rows are where idle-router skipping shows
+/// its range (see ROADMAP's 3-10x low-load target).
+fn skip_comparison(c: &mut Criterion) {
+    let topo = PolarFlyTopo::new(31, 16).unwrap();
+    let tables = RouteTables::build(topo.graph(), 1);
+    let dests = resolve(
+        TrafficPattern::Uniform,
+        topo.graph(),
+        &topo.host_routers(),
+        1,
+    );
+
+    let mut grp = c.benchmark_group("sim");
+    grp.sample_size(10);
+    for &(load, skip) in &[(0.02, true), (0.02, false), (0.2, false)] {
+        let cfg = SimConfig::default()
+            .warmup(NEVER)
+            .measure(1)
+            .drain_max(0)
+            .shards(1)
+            .skip(skip);
+        let mut e = Engine::new(&topo, &tables, &dests, Routing::Min, load, cfg);
+        for _ in 0..300 {
+            e.step();
+        }
+        let suffix = if skip { "" } else { "_dense" };
+        grp.bench_function(format!("step_q31_p16_min_load{load}{suffix}"), |b| {
+            b.iter(|| e.step())
+        });
+    }
+    grp.finish();
+}
+
 fn short_load_curve(c: &mut Criterion) {
     let topo = PolarFlyTopo::new(31, 16).unwrap();
     let cfg = SimConfig::default().warmup(100).measure(300).drain_max(300);
@@ -123,6 +160,7 @@ fn large_instance_point(c: &mut Criterion) {
 criterion_group!(
     benches,
     single_cycle,
+    skip_comparison,
     short_load_curve,
     large_instance_point
 );

@@ -99,7 +99,10 @@ fn cells(smoke: bool, ranks: u32, total_hosts: u32, sizes: &[u32]) -> Vec<Cell> 
 /// Checks one completed cell result; returns violation descriptions.
 fn check(result: &SimResult, label: &str) -> Vec<String> {
     let mut bad = Vec::new();
-    if result.saturated {
+    if result.deadline_expired {
+        // `deadline_expired` covers both the wedged case (`saturated`:
+        // traffic still live at the deadline) and the merely-unfinished
+        // one; either way the cell failed to complete.
         bad.push(format!("{label}: workload did not finish before deadline"));
     }
     if result.generated != result.delivered {
@@ -115,7 +118,7 @@ fn check(result: &SimResult, label: &str) -> Vec<String> {
                 j.name, j.messages_delivered, j.messages
             ));
         }
-        if !result.saturated && j.makespan.is_none() {
+        if !result.deadline_expired && j.makespan.is_none() {
             bad.push(format!("{label}: job {} has no makespan", j.name));
         }
     }
@@ -142,7 +145,8 @@ fn open_loop_unperturbed(topo: &dyn Topology, cfg: &SimConfig) -> Vec<String> {
         && pa.avg_hops.to_bits() == pb.avg_hops.to_bits()
         && pa.generated == pb.generated
         && pa.delivered == pb.delivered
-        && pa.saturated == pb.saturated;
+        && pa.saturated == pb.saturated
+        && pa.deadline_expired == pb.deadline_expired;
     if !bitwise_equal {
         bad.push(format!(
             "{}: open-loop Bernoulli run is not bit-for-bit reproducible",

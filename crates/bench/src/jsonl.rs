@@ -120,24 +120,29 @@ impl Row {
             .u64("delivered", r.delivered)
             .f64("delivery", r.delivery_ratio())
             .bool("saturated", r.saturated)
+            .bool("deadline_expired", r.deadline_expired)
             .u64("retransmitted", r.retransmitted_packets)
             .u64("dropped_flits", r.dropped_flits)
             .u64("table_swaps", u64::from(r.table_swaps))
             .u64("down_link_flits", r.down_link_flits)
             .u64("vc_class_clamps", r.vc_class_clamps)
+            .u64("skipped_router_cycles", r.skipped_router_cycles)
             .shard_obs(r)
     }
 
     /// Adds the per-shard execution observability block
-    /// (`SimResult::shards`) as a nested array of flat objects. Serial
-    /// runs have no shards and emit nothing — rows stay byte-identical
-    /// to the pre-sharding format unless sharding was actually on.
+    /// (`SimResult::shards`) as a nested array of flat objects, plus
+    /// the master's own barrier-wait total. Serial runs have no shards
+    /// and emit nothing — rows stay byte-identical to the pre-sharding
+    /// format unless sharding was actually on.
     #[must_use]
     pub fn shard_obs(mut self, r: &SimResult) -> Row {
         if r.shards.is_empty() {
             return self;
         }
-        self = self.u64("shards", r.shards.len() as u64);
+        self = self
+            .u64("shards", r.shards.len() as u64)
+            .u64("master_barrier_wait_ns", r.master_barrier_wait_ns);
         self.push_key("shard_obs");
         self.buf.push('[');
         for (i, o) in r.shards.iter().enumerate() {
@@ -147,8 +152,8 @@ impl Row {
             let _ = write!(
                 self.buf,
                 "{{\"routers\":{},\"boundary_links\":{},\"boundary_flits\":{},\
-                 \"busy_cycles\":{},\"barrier_wait_ns\":{}}}",
-                o.routers, o.boundary_links, o.boundary_flits, o.busy_cycles, o.barrier_wait_ns
+                 \"busy_cycles\":{}}}",
+                o.routers, o.boundary_links, o.boundary_flits, o.busy_cycles
             );
         }
         self.buf.push(']');
@@ -232,7 +237,9 @@ mod tests {
             "avg_latency",
             "delivery",
             "saturated",
+            "deadline_expired",
             "vc_class_clamps",
+            "skipped_router_cycles",
         ] {
             assert!(line.contains(&format!("\"{key}\":")), "{line}");
         }
@@ -270,6 +277,6 @@ mod tests {
             line.contains("\"shard_obs\":[{\"routers\":"),
             "shard array missing: {line}"
         );
-        assert!(line.contains("\"barrier_wait_ns\":"), "{line}");
+        assert!(line.contains("\"master_barrier_wait_ns\":"), "{line}");
     }
 }

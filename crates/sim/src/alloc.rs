@@ -32,110 +32,251 @@ pub(crate) struct Req {
     /// between build and its own grant.
     pub(crate) pkt: u32,
     pub(crate) seq: u16,
+    /// Whether the packet terminates at the downstream router (cached
+    /// from the route claim / injection plan; carried on the departing
+    /// flit so the arrival path never reloads the packet's `dst`).
+    pub(crate) term: bool,
     pub(crate) src: ReqSrc,
 }
 
+/// Arena filler for slots no request was scattered into.
+const DUMMY_REQ: Req = Req {
+    out_buf: 0,
+    pkt: NONE32,
+    seq: 0,
+    term: false,
+    src: ReqSrc::Transit { queue: 0 },
+};
+
 impl Engine<'_> {
+    /// Resets the per-pass request book-keeping: pending list, touched
+    /// outputs, and their span counts (only touched outputs are dirty).
+    fn clear_requests(&mut self) {
+        for &o in &self.touched_outputs {
+            self.req_span[o as usize].1 = 0;
+        }
+        self.touched_outputs.clear();
+        self.req_pending.clear();
+    }
+
+    /// Registers a request at `out_port`, in discovery order (the grant
+    /// phase sees per-output request lists in exactly the order the old
+    /// per-output vectors held).
+    #[inline]
+    fn push_request(&mut self, out_port: u32, req: Req) {
+        let span = &mut self.req_span[out_port as usize];
+        if span.1 == 0 {
+            self.touched_outputs.push(out_port);
+        }
+        span.1 += 1;
+        self.req_pending.push((out_port, req));
+    }
+
+    /// Groups the pending requests contiguously per output port in the
+    /// arena (stable counting scatter: span starts from a prefix sum
+    /// over the touched outputs, then each pending request lands at its
+    /// output's cursor — `span.1` is reset and reused as the cursor, so
+    /// it ends back at the per-output count).
+    fn finalize_requests(&mut self) {
+        if self.req_arena.len() < self.req_pending.len() {
+            self.req_arena.resize(self.req_pending.len(), DUMMY_REQ);
+        }
+        let mut cursor = 0u32;
+        for &o in &self.touched_outputs {
+            let span = &mut self.req_span[o as usize];
+            span.0 = cursor;
+            cursor += span.1;
+            span.1 = 0;
+        }
+        for &(o, req) in &self.req_pending {
+            let span = &mut self.req_span[o as usize];
+            self.req_arena[(span.0 + span.1) as usize] = req;
+            span.1 += 1;
+        }
+    }
+
     /// Request phase: every ready VC head (with an allocated or
     /// allocatable output VC, downstream credit, and a free output link)
     /// and every sendable injection stream registers a request at its
-    /// output link.
+    /// output link. With skipping enabled only awake routers are
+    /// scanned — an asleep router holds no flit and a dozing router's
+    /// flits are all pre-ready, so the dense scan over either is a
+    /// no-op (and draws no RNG: routing runs only for ready heads).
     pub(crate) fn build_requests(&mut self, cycle: u32) {
-        for &o in &self.touched_outputs {
-            self.requests[o as usize].clear();
-        }
-        self.touched_outputs.clear();
+        self.clear_requests();
+        self.pass2_cand.clear();
 
-        for r in 0..self.n {
-            let (lo, hi) = self.geom.ports(r);
+        if self.skip.enabled {
+            let list = std::mem::take(&mut self.skip.awake_list);
+            for &r in &list {
+                self.build_requests_router(r as usize, cycle);
+            }
+            self.skip.awake_list = list;
+        } else {
+            for r in 0..self.n {
+                self.build_requests_router(r, cycle);
+            }
+        }
+
+        self.build_inject_requests(cycle);
+    }
+
+    /// The transit-head request scan of one router. With the
+    /// port-occupancy masks available, only occupied ports are visited
+    /// (ascending bit order == the dense `lo..hi` order); the dense
+    /// fallback scans every port.
+    fn build_requests_router(&mut self, r: usize, cycle: u32) {
+        let (lo, hi) = self.geom.ports(r);
+        if self.skip.masks {
+            let mut m = self.skip.occ[r];
+            while m != 0 {
+                let port = lo + m.trailing_zeros();
+                m &= m - 1;
+                debug_assert!(self.port_flits[port as usize] > 0);
+                if self.port_used[port as usize] {
+                    continue;
+                }
+                self.build_requests_port(r, port, cycle);
+            }
+        } else {
             for port in lo..hi {
                 if self.port_used[port as usize] || self.port_flits[port as usize] == 0 {
                     continue;
                 }
-                for vc in crate::router::VcIter::new(self.vc_occ[port as usize], self.vcs) {
-                    let qidx = port as usize * self.vcs + vc;
-                    let Some((pkt, seq, ready_at)) = self.bufs.front(qidx) else {
-                        continue;
-                    };
-                    if ready_at > cycle {
-                        continue;
-                    }
-                    if self.packets.dst[pkt as usize] == r as u32 {
-                        continue; // ejection handles it
-                    }
-                    // Route + VC allocation for a new head.
-                    if self.route[qidx].port == NONE32 {
-                        debug_assert_eq!(seq, 0, "body flit without route");
-                        let target = self.transit_target(r as u32, pkt);
-                        let hop = HopContext {
-                            router: r as u32,
-                            target,
-                        };
-                        let i = crate::routing::route_output(
-                            self.algo.as_ref(),
-                            &net_view!(self),
-                            self.faults.pending_tables.as_ref(),
-                            &mut self.packets.frr_pinned,
-                            pkt,
-                            hop,
-                            &mut self.rng,
-                        );
-                        let out_port = self.geom.downstream(r as u32, i as usize);
-                        // Class-indexed VC: hop h travels in class h, any
-                        // free VC within the class (deadlock freedom needs
-                        // paths of <= vc_classes hops; all routing
-                        // algorithms of the paper satisfy 4). A hop index
-                        // past the budget is clamped to the top class and
-                        // counted — the deadlock argument no longer covers
-                        // that packet, and the fault sweeps assert the
-                        // counter stays 0.
-                        let in_class = vc / self.per_class;
-                        let classes = self.vcs / self.per_class;
-                        let out_class = (in_class + 1).min(classes - 1);
-                        let Some(ovc) = crate::flow::claim_vc(
-                            &mut self.out_owner,
-                            out_port,
-                            self.vcs,
-                            out_class,
-                            self.per_class,
-                        ) else {
-                            self.diag_vc_stalls += 1;
-                            continue; // all VCs of the class busy; retry
-                        };
-                        if in_class + 1 >= classes {
-                            // Counted once per clamped hop actually taken
-                            // (not per allocation retry of the same head).
-                            self.diag_class_clamps += 1;
-                        }
-                        self.route[qidx] = crate::engine::RouteEntry {
-                            port: out_port,
-                            pkt,
-                            vc: ovc,
-                        };
-                    }
-                    let re = self.route[qidx];
-                    let out_port = re.port;
-                    let out_idx = out_port as usize * self.vcs + re.vc as usize;
-                    if self.credits[out_idx] == 0 {
-                        self.diag_credit_stalls += 1;
-                        continue;
-                    }
-                    if self.out_taken[out_port as usize] {
-                        continue;
-                    }
-                    if self.requests[out_port as usize].is_empty() {
-                        self.touched_outputs.push(out_port);
-                    }
-                    self.requests[out_port as usize].push(Req {
-                        out_buf: out_idx as u32,
-                        pkt,
-                        seq,
-                        src: ReqSrc::Transit { queue: qidx as u32 },
-                    });
-                }
+                self.build_requests_port(r, port, cycle);
             }
         }
+    }
 
+    /// The per-port VC-head scan of [`Engine::build_requests_router`].
+    fn build_requests_port(&mut self, r: usize, port: u32, cycle: u32) {
+        for vc in crate::router::VcIter::new(self.vc_occ[port as usize], self.vcs) {
+            let qidx = port as usize * self.vcs + vc;
+            let Some((pkt, seq, ready_at)) = self.bufs.front(qidx) else {
+                continue;
+            };
+            if ready_at > cycle {
+                continue;
+            }
+            if self.bufs.head_term(qidx) {
+                continue; // ejection handles it
+            }
+            if self.skip.enabled {
+                // Remember every eligible head — requested *or* stalled
+                // — for the later passes' replay (see `pass2_cand`).
+                self.pass2_cand.push(qidx as u32);
+            }
+            self.try_request_queue(r, qidx, vc, pkt, seq);
+        }
+    }
+
+    /// Route + VC allocation, credit, and output-link checks for one
+    /// eligible (ready, non-terminating) VC head, registering its
+    /// request on success — the per-queue tail of the request scan,
+    /// shared by the dense pass and the candidate-replay pass.
+    fn try_request_queue(&mut self, r: usize, qidx: usize, vc: usize, pkt: u32, seq: u16) {
+        // Route + VC allocation for a new head.
+        if self.route[qidx].port == NONE32 {
+            debug_assert_eq!(seq, 0, "body flit without route");
+            let (target, dst) = self.transit_target(r as u32, pkt);
+            let hop = HopContext {
+                router: r as u32,
+                target,
+            };
+            let i = crate::routing::route_output(
+                self.algo.as_ref(),
+                &net_view!(self),
+                self.faults.pending_tables.as_ref(),
+                &mut self.packets.frr_pinned,
+                pkt,
+                hop,
+                &mut self.rng,
+            );
+            let out_port = self.geom.downstream(r as u32, i as usize);
+            // Class-indexed VC: hop h travels in class h, any
+            // free VC within the class (deadlock freedom needs
+            // paths of <= vc_classes hops; all routing
+            // algorithms of the paper satisfy 4). A hop index
+            // past the budget is clamped to the top class and
+            // counted — the deadlock argument no longer covers
+            // that packet, and the fault sweeps assert the
+            // counter stays 0.
+            let in_class = vc / self.per_class;
+            let classes = self.vcs / self.per_class;
+            let out_class = (in_class + 1).min(classes - 1);
+            let Some(ovc) = crate::flow::claim_vc(
+                &mut self.out_owner,
+                out_port,
+                self.vcs,
+                out_class,
+                self.per_class,
+            ) else {
+                self.diag_vc_stalls += 1;
+                return; // all VCs of the class busy; retry next pass
+            };
+            if in_class + 1 >= classes {
+                // Counted once per clamped hop actually taken
+                // (not per allocation retry of the same head).
+                self.diag_class_clamps += 1;
+            }
+            self.route[qidx] = crate::engine::RouteEntry {
+                port: out_port,
+                pkt,
+                vc: ovc,
+                term_next: self.port_owner[out_port as usize] == dst,
+            };
+        }
+        let re = self.route[qidx];
+        let out_port = re.port;
+        let out_idx = out_port as usize * self.vcs + re.vc as usize;
+        if self.credits[out_idx] == 0 {
+            self.diag_credit_stalls += 1;
+            return;
+        }
+        if self.out_taken[out_port as usize] {
+            return;
+        }
+        self.push_request(
+            out_port,
+            Req {
+                out_buf: out_idx as u32,
+                pkt,
+                seq,
+                term: re.term_next,
+                src: ReqSrc::Transit { queue: qidx as u32 },
+            },
+        );
+    }
+
+    /// Later-pass request build for the serial skip schedule: replays
+    /// [`Engine::pass2_cand`] (the first pass's eligible heads, in the
+    /// dense scan order) filtered by [`Engine::port_used`], instead of
+    /// rescanning every awake router. Exactness: no VC head becomes
+    /// ready mid-cycle (arrivals and ejection precede allocation), a
+    /// granted pop marks its input port used, and the per-head
+    /// route/VC/credit/output checks — including the RNG draws of
+    /// still-unrouted heads and the stall diagnostics — rerun through
+    /// the same [`Engine::try_request_queue`] the dense pass uses, so
+    /// the dense later-pass scan and this replay register identical
+    /// requests in identical order.
+    pub(crate) fn build_requests_again(&mut self, cycle: u32) {
+        self.clear_requests();
+        let cand = std::mem::take(&mut self.pass2_cand);
+        for &q in &cand {
+            let qidx = q as usize;
+            let port = qidx / self.vcs;
+            if self.port_used[port] {
+                continue;
+            }
+            let Some((pkt, seq, ready_at)) = self.bufs.front(qidx) else {
+                debug_assert!(false, "pass-1 candidate emptied without port_used");
+                continue;
+            };
+            debug_assert!(ready_at <= cycle && !self.bufs.head_term(qidx));
+            let r = self.port_owner[port] as usize;
+            self.try_request_queue(r, qidx, q as usize % self.vcs, pkt, seq);
+        }
+        self.pass2_cand = cand;
         self.build_inject_requests(cycle);
     }
 
@@ -143,37 +284,51 @@ impl Engine<'_> {
     /// the tail of the request phase, shared verbatim by the serial
     /// [`Engine::build_requests`] and the sharded commit path (it runs
     /// on the master either way: the scan is cheap and its order
-    /// follows the transit requests).
+    /// follows the transit requests). Routers with active streams are
+    /// always awake, so the awake list loses none of them.
     pub(crate) fn build_inject_requests(&mut self, cycle: u32) {
-        for r in 0..self.n {
-            if self.inj_budget[r] == 0 {
+        if self.skip.enabled {
+            let list = std::mem::take(&mut self.skip.awake_list);
+            for &r in &list {
+                self.build_inject_requests_router(r as usize, cycle);
+            }
+            self.skip.awake_list = list;
+        } else {
+            for r in 0..self.n {
+                self.build_inject_requests_router(r, cycle);
+            }
+        }
+    }
+
+    /// The injection-lane request scan of one router.
+    fn build_inject_requests_router(&mut self, r: usize, cycle: u32) {
+        if self.inj_budget[r] == 0 {
+            return;
+        }
+        for s in 0..self.inj.len(r) {
+            let slot = self.inj.slot(r, s);
+            if self.inj.next_seq[slot] >= self.cfg.packet_flits || self.inj.last_sent[slot] == cycle
+            {
+                continue; // finished, or lane already sent this cycle
+            }
+            let out_buf = self.inj.out_buf[slot];
+            let out_port = (out_buf as usize) / self.vcs;
+            if self.out_taken[out_port] || self.credits[out_buf as usize] == 0 {
                 continue;
             }
-            for s in 0..self.inj.len(r) {
-                let slot = self.inj.slot(r, s);
-                if self.inj.next_seq[slot] >= self.cfg.packet_flits
-                    || self.inj.last_sent[slot] == cycle
-                {
-                    continue; // finished, or lane already sent this cycle
-                }
-                let out_buf = self.inj.out_buf[slot];
-                let out_port = (out_buf as usize) / self.vcs;
-                if self.out_taken[out_port] || self.credits[out_buf as usize] == 0 {
-                    continue;
-                }
-                if self.requests[out_port].is_empty() {
-                    self.touched_outputs.push(out_port as u32);
-                }
-                self.requests[out_port].push(Req {
+            self.push_request(
+                out_port as u32,
+                Req {
                     out_buf,
                     pkt: self.inj.pkt[slot],
                     seq: self.inj.next_seq[slot],
+                    term: self.inj.term[slot],
                     src: ReqSrc::Inject {
                         router: r as u32,
                         stream: s,
                     },
-                });
-            }
+                },
+            );
         }
     }
 
@@ -195,6 +350,12 @@ impl Engine<'_> {
         stage.cands.clear();
         for &r in routers {
             let r = r as usize;
+            if self.skip.enabled && !self.skip.is_awake(r) {
+                // Perf-only filter, no decision influence: a non-awake
+                // router holds no ready head, so the scan below would
+                // stage nothing for it either way.
+                continue;
+            }
             let (lo, hi) = self.geom.ports(r);
             for port in lo..hi {
                 if self.port_used[port as usize] || self.port_flits[port as usize] == 0 {
@@ -258,6 +419,7 @@ impl Engine<'_> {
                         clamped: in_class + 1 >= classes,
                         set_passed_mid,
                         set_pin,
+                        term_next: self.port_owner[out_port as usize] == dst,
                     });
                 }
             }
@@ -275,10 +437,7 @@ impl Engine<'_> {
         rt: &mut crate::shard::ShardRuntime,
         _cycle: u32,
     ) {
-        for &o in &self.touched_outputs {
-            self.requests[o as usize].clear();
-        }
-        self.touched_outputs.clear();
+        self.clear_requests();
 
         rt.merge_cands(|cand| match cand {
             crate::shard::Cand::Routed { qidx, pkt, seq } => {
@@ -292,15 +451,16 @@ impl Engine<'_> {
                 if self.out_taken[re.port as usize] {
                     return;
                 }
-                if self.requests[re.port as usize].is_empty() {
-                    self.touched_outputs.push(re.port);
-                }
-                self.requests[re.port as usize].push(Req {
-                    out_buf: out_idx as u32,
-                    pkt,
-                    seq,
-                    src: ReqSrc::Transit { queue: qidx },
-                });
+                self.push_request(
+                    re.port,
+                    Req {
+                        out_buf: out_idx as u32,
+                        pkt,
+                        seq,
+                        term: re.term_next,
+                        src: ReqSrc::Transit { queue: qidx },
+                    },
+                );
             }
             crate::shard::Cand::Fresh {
                 qidx,
@@ -310,6 +470,7 @@ impl Engine<'_> {
                 clamped,
                 set_passed_mid,
                 set_pin,
+                term_next,
             } => {
                 // The serial pass applies these before the VC claim and
                 // keeps them regardless of its outcome.
@@ -336,6 +497,7 @@ impl Engine<'_> {
                     port: out_port,
                     pkt,
                     vc: ovc,
+                    term_next,
                 };
                 let out_idx = out_port as usize * self.vcs + ovc as usize;
                 if self.credits[out_idx] == 0 {
@@ -345,25 +507,28 @@ impl Engine<'_> {
                 if self.out_taken[out_port as usize] {
                     return;
                 }
-                if self.requests[out_port as usize].is_empty() {
-                    self.touched_outputs.push(out_port);
-                }
-                self.requests[out_port as usize].push(Req {
-                    out_buf: out_idx as u32,
-                    pkt,
-                    seq: 0,
-                    src: ReqSrc::Transit { queue: qidx },
-                });
+                self.push_request(
+                    out_port,
+                    Req {
+                        out_buf: out_idx as u32,
+                        pkt,
+                        seq: 0,
+                        term: term_next,
+                        src: ReqSrc::Transit { queue: qidx },
+                    },
+                );
             }
         });
     }
 
     /// Resolves the transit routing target of `pkt` at router `r`,
-    /// honoring the Valiant phase (and recording mid passage).
-    fn transit_target(&mut self, r: u32, pkt: u32) -> u32 {
+    /// honoring the Valiant phase (and recording mid passage). Returns
+    /// `(target, dst)` — the caller also needs the final destination
+    /// for the route claim's `term_next` cache.
+    fn transit_target(&mut self, r: u32, pkt: u32) -> (u32, u32) {
         let p = pkt as usize;
         let (mid, dst) = (self.packets.mid[p], self.packets.dst[p]);
-        if mid != NONE32 && !self.packets.passed_mid[p] {
+        let target = if mid != NONE32 && !self.packets.passed_mid[p] {
             if r == mid {
                 self.packets.passed_mid[p] = true;
                 dst
@@ -372,7 +537,8 @@ impl Engine<'_> {
             }
         } else {
             dst
-        }
+        };
+        (target, dst)
     }
 
     /// Grant + accept: each requested output grants one requester
@@ -386,6 +552,8 @@ impl Engine<'_> {
         cycle: u32,
         mut shard: Option<&mut crate::shard::ShardRuntime>,
     ) {
+        // Group this pass's requests per output in the flat arena.
+        self.finalize_requests();
         // New grant epoch: an input port has accepted this pass iff its
         // tag equals `grant_serial` (epoch tags instead of a per-pass
         // memset of `input_grant`).
@@ -402,18 +570,19 @@ impl Engine<'_> {
             if self.out_taken[out_port] {
                 continue;
             }
-            let reqs = &self.requests[out_port];
-            if reqs.is_empty() {
+            let (rs, rl) = self.req_span[out_port];
+            let (rs, rl) = (rs as usize, rl as usize);
+            if rl == 0 {
                 continue;
             }
-            let rstart = crate::order::requester_rotation(cycle, out_port, reqs.len());
+            let rstart = crate::order::requester_rotation(cycle, out_port, rl);
             let mut chosen = None;
             // Packet-continuation priority: drain in-flight packets before
             // granting new heads. Shorter output-VC hold times keep the VC
             // classes from exhausting (the dominant stall otherwise).
             'passes: for want_body in [true, false] {
-                for k in 0..reqs.len() {
-                    let req = reqs[(rstart + k) % reqs.len()];
+                for k in 0..rl {
+                    let req = self.req_arena[rs + (rstart + k) % rl];
                     if (req.seq > 0) != want_body {
                         continue;
                     }
@@ -474,6 +643,17 @@ impl Engine<'_> {
                     if self.bufs.is_empty(q) {
                         self.vc_occ[in_port] &= !1u32.wrapping_shl((q % self.vcs) as u32);
                     }
+                    if self.skip.enabled {
+                        let r = self.port_owner[in_port] as usize;
+                        if self.skip.masks && self.port_flits[in_port] == 0 {
+                            let lo = self.geom.ports(r).0;
+                            self.skip.occ[r] &= !(1u32 << (in_port as u32 - lo));
+                        }
+                        if self.skip.on_drain(r, 1) {
+                            self.skip
+                                .maybe_sleep(r, self.src_q.is_empty(r), self.inj.len(r));
+                        }
+                    }
                     self.credits[q] += 1;
                     self.port_used[in_port] = true;
                     self.pipeline.depart(
@@ -482,6 +662,7 @@ impl Engine<'_> {
                             buf: req.out_buf,
                             pkt,
                             seq,
+                            term: req.term,
                         },
                     );
                     if seq == self.cfg.packet_flits - 1 {
@@ -506,6 +687,7 @@ impl Engine<'_> {
                             buf: self.inj.out_buf[slot],
                             pkt: self.inj.pkt[slot],
                             seq,
+                            term: req.term,
                         },
                     );
                     self.inj.next_seq[slot] = seq + 1;
@@ -521,9 +703,23 @@ impl Engine<'_> {
         }
         self.touched_outputs = outs;
 
-        // Sweep finished injection streams.
-        for r in 0..self.n {
-            self.inj.sweep_finished(r, self.cfg.packet_flits);
+        // Sweep finished injection streams (routers with streams are
+        // always awake, so the awake list covers every sweep target); a
+        // router whose last stream just finished may now be fully idle
+        // and go to sleep.
+        if self.skip.enabled {
+            let list = std::mem::take(&mut self.skip.awake_list);
+            for &r in &list {
+                let r = r as usize;
+                self.inj.sweep_finished(r, self.cfg.packet_flits);
+                self.skip
+                    .maybe_sleep(r, self.src_q.is_empty(r), self.inj.len(r));
+            }
+            self.skip.awake_list = list;
+        } else {
+            for r in 0..self.n {
+                self.inj.sweep_finished(r, self.cfg.packet_flits);
+            }
         }
     }
 }

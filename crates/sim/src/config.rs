@@ -89,6 +89,17 @@ pub struct SimConfig {
     /// algorithms that draw randomness on transit hops (adaptive
     /// minimal / NCA) fall back to the serial path.
     pub shards: usize,
+    /// Event-driven cycle skipping (see `DESIGN.md`, "Event-driven
+    /// cycle skipping"): per-router activity tracking lets the per-cycle
+    /// phases scan only routers that could possibly act, and whole
+    /// cycles are leapt when every router is provably idle (drain
+    /// tails, closed-loop compute gaps, fault-quiesced spans). Results
+    /// are bit-for-bit identical with skipping on or off — pinned by
+    /// `tests/skip_parity.rs`; `SimResult::skipped_router_cycles`
+    /// reports the work avoided. On by default; set the `PF_SIM_SKIP`
+    /// environment variable to `0` to force the dense schedule (CI runs
+    /// the full test suite both ways).
+    pub skip: bool,
 }
 
 impl Default for SimConfig {
@@ -116,6 +127,7 @@ impl Default for SimConfig {
                 .and_then(|s| s.parse().ok())
                 .filter(|&k: &usize| k >= 1)
                 .unwrap_or(1),
+            skip: std::env::var("PF_SIM_SKIP").map_or(true, |s| s != "0"),
         }
     }
 }
@@ -177,6 +189,8 @@ impl SimConfig {
         workload_deadline: u32,
         /// Sets the engine worker-shard count (1 = serial).
         shards: usize,
+        /// Enables/disables event-driven cycle skipping.
+        skip: bool,
     }
 
     /// Total virtual channels per port.

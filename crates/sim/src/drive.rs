@@ -46,7 +46,7 @@ use std::collections::BinaryHeap;
 /// let topo = PolarFlyTopo::new(5, 2).unwrap();
 /// let jobs = vec![JobAssignment::solo(ring_allreduce(6, 8, 4))];
 /// let r = simulate_workload(&topo, Routing::Min, jobs, &SimConfig::quick()).unwrap();
-/// assert_eq!(r.jobs[0].makespan.is_some(), !r.saturated);
+/// assert_eq!(r.jobs[0].makespan.is_some(), !r.deadline_expired);
 /// assert_eq!(r.generated, r.delivered);
 /// ```
 pub fn simulate_workload(
@@ -373,6 +373,16 @@ impl WorkloadDriver {
     /// Whether every job has completed.
     pub fn done(&self) -> bool {
         self.jobs.iter().all(|j| j.completion.is_some())
+    }
+
+    /// The earliest armed compute-timer cycle across every job, if any.
+    /// Bounds the engine's idle leap: with the network empty, the next
+    /// cycle anything can happen is the next timer expiry.
+    pub(crate) fn next_timer_cycle(&self) -> Option<u32> {
+        self.jobs
+            .iter()
+            .filter_map(|j| j.timers.peek().map(|&Reverse((t, _))| t))
+            .min()
     }
 
     /// Largest job makespan (`None` until every job completes).

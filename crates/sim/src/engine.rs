@@ -21,6 +21,7 @@ use crate::phase::PhaseClock;
 use crate::queues::SourceQueues;
 use crate::router::{FlitRings, InjPool, PortMap, NONE32};
 use crate::routing::{MinHop, RoutingAlgorithm};
+use crate::skip::SkipCtl;
 use crate::stats::{LatencyStats, SimResult};
 use crate::tables::RouteTables;
 use crate::traffic::DestMap;
@@ -88,6 +89,10 @@ pub(crate) struct RouteEntry {
     pub(crate) pkt: u32,
     /// Claimed output VC.
     pub(crate) vc: u8,
+    /// Whether the packet terminates at the downstream router (cached
+    /// at route time, where `dst` is in cache; every departing flit of
+    /// the packet carries it — see [`crate::flow::Arrival::term`]).
+    pub(crate) term_next: bool,
 }
 
 impl RouteEntry {
@@ -96,6 +101,7 @@ impl RouteEntry {
         port: NONE32,
         pkt: NONE32,
         vc: 0,
+        term_next: false,
     };
 }
 
@@ -142,11 +148,16 @@ pub struct Engine<'a> {
     /// when attached ([`Engine::attach_workload`]); `None` leaves the
     /// open-loop path untouched.
     pub(crate) workload: Option<WorkloadDriver>,
+    /// Event-driven cycle-skip controller (`SimConfig::skip`): per-router
+    /// awake/doze/asleep tracking, the doze timing wheel, and the
+    /// port-occupancy masks the phase scans iterate. Inert when
+    /// disabled — every phase then runs its dense scan.
+    pub(crate) skip: SkipCtl,
 
     /// All (port, VC) input buffers as flat SoA ring buffers.
     pub(crate) bufs: FlitRings,
     /// Free slots per input-buffer queue (the sender's credit view).
-    pub(crate) credits: Vec<u32>,
+    pub(crate) credits: Vec<u16>,
     /// Wormhole allocation of the packet at each queue head: downstream
     /// input port (`NONE32` = unrouted), VC, and owning packet (tracked
     /// so fault events can find and cancel claims). One record per queue
@@ -175,8 +186,32 @@ pub struct Engine<'a> {
     // Per-cycle scratch (reused allocations).
     pub(crate) port_used: Vec<bool>,
     pub(crate) out_taken: Vec<bool>,
-    pub(crate) requests: Vec<Vec<Req>>,
+    /// Switch requests in discovery order, tagged by output port;
+    /// `finalize_requests` scatters them into [`Engine::req_arena`]
+    /// before each grant pass. One flat vector replaces the old
+    /// per-output `Vec<Vec<Req>>` — no per-output heap rings to chase
+    /// or clear on the hot path.
+    pub(crate) req_pending: Vec<(u32, Req)>,
+    /// Request arena: each grant pass's requests grouped contiguously
+    /// per output port, in discovery order within a port (the same
+    /// order the per-output vectors held).
+    pub(crate) req_arena: Vec<Req>,
+    /// Per-output `(start, len)` span into [`Engine::req_arena`]. `len`
+    /// doubles as the pending-request count between `push_request` and
+    /// `finalize_requests` (only outputs in `touched_outputs` are
+    /// nonzero).
+    pub(crate) req_span: Vec<(u32, u32)>,
     pub(crate) touched_outputs: Vec<u32>,
+    /// Pass-1 transit candidates (queue indices of every ready,
+    /// non-terminating VC head the first request pass visited, in scan
+    /// order — i.e. ascending). Later allocator passes of the same
+    /// cycle replay this list instead of rescanning every awake
+    /// router's ports: no head can *become* ready mid-cycle (arrivals
+    /// and ejection precede allocation, and a pop marks its input port
+    /// used), so the dense pass-2 scan's eligible set is exactly this
+    /// list filtered by [`Engine::port_used`]. Serial schedule with
+    /// skipping enabled only; the dense reference path rescans.
+    pub(crate) pass2_cand: Vec<u32>,
     /// Per-pass grant epoch per input port: a port is taken this pass iff
     /// `input_grant[p] == grant_serial` (epoch tags avoid a full memset
     /// per allocator pass).
@@ -358,6 +393,16 @@ impl<'a> Engine<'a> {
             None
         };
 
+        // Event-driven skipping: the port-occupancy masks need every
+        // router degree to fit a u32 bit per local port; larger-degree
+        // topologies keep the awake-list machinery but fall back to the
+        // dense port scan within awake routers.
+        let max_degree = (0..n)
+            .map(|r| (geom.ports(r).1 - geom.ports(r).0) as usize)
+            .max()
+            .unwrap_or(0);
+        let skip = SkipCtl::new(n, cfg.pipeline_delay, max_degree, cfg.skip);
+
         let seed = cfg.seed ^ (load.to_bits().rotate_left(17));
         Engine {
             topo,
@@ -379,8 +424,9 @@ impl<'a> Engine<'a> {
             faults,
             shard_rt,
             workload: None,
+            skip,
             bufs: FlitRings::new(queues, cap_per_vc),
-            credits: vec![cap_per_vc; queues],
+            credits: vec![cap_per_vc as u16; queues],
             route: vec![RouteEntry::NONE; queues],
             out_owner: vec![false; queues],
             src_q: SourceQueues::new(n),
@@ -398,8 +444,11 @@ impl<'a> Engine<'a> {
             total_delivered: 0,
             port_used: vec![false; num_ports],
             out_taken: vec![false; num_ports],
-            requests: vec![Vec::new(); num_ports],
+            req_pending: Vec::new(),
+            req_arena: Vec::new(),
+            req_span: vec![(0, 0); num_ports],
             touched_outputs: Vec::new(),
+            pass2_cand: Vec::new(),
             input_grant: vec![0; num_ports],
             grant_serial: 0,
             inj_budget: vec![0; n],
@@ -428,6 +477,7 @@ impl<'a> Engine<'a> {
         offered_load: f64,
         accepted_load: f64,
         saturated: bool,
+        deadline_expired: bool,
         jobs: Vec<crate::stats::JobResult>,
     ) -> SimResult {
         let mut stats = std::mem::take(&mut self.stats);
@@ -440,6 +490,8 @@ impl<'a> Engine<'a> {
             generated: self.measured_generated,
             delivered: self.measured_delivered,
             saturated,
+            deadline_expired,
+            skipped_router_cycles: self.skip.skipped_router_cycles,
             dropped_flits: self.faults.dropped_flits,
             retransmitted_packets: self.faults.retransmitted_packets,
             table_swaps: self.faults.table_swaps,
@@ -450,6 +502,10 @@ impl<'a> Engine<'a> {
                 .shard_rt
                 .as_ref()
                 .map_or_else(Vec::new, |rt| rt.observations()),
+            master_barrier_wait_ns: self
+                .shard_rt
+                .as_ref()
+                .map_or(0, |rt| rt.master_barrier_wait_ns),
         }
     }
 
@@ -478,7 +534,9 @@ impl<'a> Engine<'a> {
         let saturated = self.measured_delivered < self.measured_generated;
         let accepted = self.window_flits_ejected as f64
             / (f64::from(self.clock.measure) * self.topo.total_endpoints() as f64);
-        self.pack_result(self.load, accepted, saturated, Vec::new())
+        // Open-loop, the only deadline is the drain budget, so expiry
+        // and saturation are the same observation.
+        self.pack_result(self.load, accepted, saturated, saturated, Vec::new())
     }
 
     /// Attaches a closed-loop workload driver: from now on the engine
@@ -499,8 +557,12 @@ impl<'a> Engine<'a> {
     /// completed run), `avg_latency` is per-packet
     /// generation-to-tail-ejection over all workload packets,
     /// `accepted_load` is delivered payload flits per endpoint-cycle
-    /// over the makespan, and `saturated` flags a deadline expiry —
-    /// an unfinished (wedged or too-slow) workload.
+    /// over the makespan, and `deadline_expired` flags an unfinished
+    /// workload. `saturated` is set only when the deadline expired while
+    /// traffic was still moving (flits in flight, queued packets, live
+    /// injection streams, or armed compute timers) — genuinely over-slow;
+    /// `deadline_expired && !saturated` is a *wedged* DAG, a distinct
+    /// failure the sweeps report separately.
     ///
     /// # Panics
     ///
@@ -518,8 +580,8 @@ impl<'a> Engine<'a> {
                 match self.workload.take() {
                     Some(d) => break d,
                     // Unreachable past the entry assert; degrade to an
-                    // empty saturated result rather than panic mid-run.
-                    None => return self.pack_result(0.0, 0.0, true, Vec::new()),
+                    // empty expired result rather than panic mid-run.
+                    None => return self.pack_result(0.0, 0.0, true, true, Vec::new()),
                 }
             }
         };
@@ -528,7 +590,13 @@ impl<'a> Engine<'a> {
         let accepted = makespan.map_or(0.0, |m| {
             payload as f64 / (f64::from(m.max(1)) * self.topo.total_endpoints() as f64)
         });
-        self.pack_result(0.0, accepted, makespan.is_none(), driver.results())
+        let deadline_expired = makespan.is_none();
+        let live = self.flits_in_network() > 0
+            || self.source_backlog() > 0
+            || self.active_streams() > 0
+            || driver.next_timer_cycle().is_some();
+        let saturated = deadline_expired && live;
+        self.pack_result(0.0, accepted, saturated, deadline_expired, driver.results())
     }
 
     /// Advances one cycle (serial or sharded, per the construction-time
@@ -541,8 +609,78 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// Cycle-skip prologue shared by both schedules: wake due dozers,
+    /// and when the whole network is provably idle leap to the next
+    /// interesting cycle (waking any dozer due at the landing cycle).
+    /// The wheel drain must come *before* the leap check — a dozer due
+    /// this very cycle blocks the leap by becoming awake.
+    #[inline]
+    fn skip_prologue(&mut self) {
+        if !self.skip.enabled {
+            return;
+        }
+        self.skip.wheel_wake(self.cycle);
+        // A leap is sound only when the generation phase is inert:
+        // closed-loop (Bernoulli off) or past the generation cutoff.
+        // The Bernoulli generator draws RNG for every endpoint every
+        // cycle — even at load 0 — so generating cycles can never skip.
+        if (self.workload.is_some() || self.cycle >= self.cfg.gen_cutoff)
+            && self.skip.none_awake()
+            && self.pipeline.in_flight() == 0
+        {
+            self.maybe_leap();
+            self.skip.wheel_wake(self.cycle);
+        }
+    }
+
+    /// Leaps `self.cycle` to the earliest upcoming cycle at which
+    /// anything can happen: a dozing router's pipeline wake, an armed
+    /// workload compute timer, or a transient-fault event / staged
+    /// table swap — bounded by the run deadline *minus one* (the dense
+    /// loops execute their deadline cycle's predecessor last; executing
+    /// the deadline cycle itself would fire timers the dense path never
+    /// fires). Called only with every router asleep or dozing, no flits
+    /// on links, and generation inert, so the leapt-over cycles are
+    /// provable no-ops: no RNG draw, no event, no statistic.
+    fn maybe_leap(&mut self) {
+        let cycle = self.cycle;
+        let bound = if self.workload.is_some() {
+            self.cfg.workload_deadline.saturating_sub(1)
+        } else {
+            self.clock.last_cycle()
+        };
+        if bound <= cycle {
+            return;
+        }
+        let mut target = bound;
+        if let Some(c) = self.skip.next_doze_wake(cycle) {
+            target = target.min(c);
+        }
+        if let Some(c) = self.workload.as_ref().and_then(|w| w.next_timer_cycle()) {
+            if c <= cycle {
+                // A timer due this very cycle: the cycle is not a no-op.
+                return;
+            }
+            target = target.min(c);
+        }
+        if self.transient {
+            if let Some(c) = self.faults.next_wake() {
+                if c <= cycle {
+                    // A fault event or staged swap fires this cycle.
+                    return;
+                }
+                target = target.min(c);
+            }
+        }
+        if target > cycle {
+            self.skip.charge_leap(self.n, target - cycle);
+            self.cycle = target;
+        }
+    }
+
     /// The serial per-cycle schedule (`SimConfig::shards` = 1).
     fn step_serial(&mut self) {
+        self.skip_prologue();
         let cycle = self.cycle;
         if self.transient {
             // 0. Fault events scheduled for this cycle (mask flips,
@@ -552,10 +690,8 @@ impl<'a> Engine<'a> {
         }
         self.port_used.iter_mut().for_each(|v| *v = false);
         self.out_taken.iter_mut().for_each(|v| *v = false);
-
         // 1. Link arrivals.
         self.apply_arrivals(cycle);
-
         // 2. Packet generation: closed-loop task-DAG releases when a
         //    workload is attached, the open-loop Bernoulli process
         //    otherwise (identical to the pre-workload engine).
@@ -564,11 +700,15 @@ impl<'a> Engine<'a> {
         } else if cycle < self.cfg.gen_cutoff {
             self.generate(cycle);
         }
-
+        // Generation was the last phase that can wake a router, so the
+        // awake list built here covers everything the remaining phases
+        // must scan.
+        if self.skip.enabled {
+            self.skip.build_awake_list(self.n);
+        }
         // 3. Ejection (before switch allocation: ejection drains
         //    unconditionally, which the VC ordering relies on).
         self.eject(cycle);
-
         // 4. Injection starts.
         self.start_injections();
 
@@ -576,8 +716,15 @@ impl<'a> Engine<'a> {
         //    VC heads and injection streams, iterated so inputs that lose
         //    a round can be rematched within the cycle.
         self.reset_inj_budgets();
-        for _ in 0..self.cfg.alloc_iters.max(1) {
-            self.build_requests(cycle);
+        for it in 0..self.cfg.alloc_iters.max(1) {
+            if it == 0 || !self.skip.enabled {
+                self.build_requests(cycle);
+            } else {
+                // Later passes replay the first pass's candidate list
+                // (identical result, no rescan — see
+                // `build_requests_again`).
+                self.build_requests_again(cycle);
+            }
             self.grant_and_accept(cycle, None);
         }
 
@@ -602,6 +749,7 @@ impl<'a> Engine<'a> {
             self.step_serial();
             return;
         };
+        self.skip_prologue();
         let cycle = self.cycle;
         if self.transient {
             self.apply_fault_events(cycle);
@@ -616,6 +764,9 @@ impl<'a> Engine<'a> {
             self.workload_release(cycle);
         } else if cycle < self.cfg.gen_cutoff {
             self.generate(cycle);
+        }
+        if self.skip.enabled {
+            self.skip.build_awake_list(self.n);
         }
 
         rt.probe(self, cycle, ProbePhase::Eject);
@@ -646,10 +797,23 @@ impl<'a> Engine<'a> {
             let port = buf / self.vcs;
             self.port_flits[port] += 1;
             self.vc_occ[port] |= 1u32.wrapping_shl((buf % self.vcs) as u32);
-            if self.packets.dst[a.pkt as usize] == self.port_owner[port] {
+            let r = self.port_owner[port] as usize;
+            let term = a.term;
+            debug_assert_eq!(term, self.packets.dst[a.pkt as usize] == r as u32);
+            if term {
                 self.eject_flits[port] += 1;
             }
-            self.bufs.push_back(buf, a.pkt, a.seq, ready_at);
+            if self.skip.enabled {
+                self.skip.on_arrival(r, ready_at, cycle);
+                if self.skip.masks {
+                    let bit = 1u32 << (port as u32 - self.geom.ports(r).0);
+                    self.skip.occ[r] |= bit;
+                    if term {
+                        self.skip.eject_occ[r] |= bit;
+                    }
+                }
+            }
+            self.bufs.push_back(buf, a.pkt, a.seq, ready_at, term);
         }
         self.pipeline.recycle(cycle, arrivals);
     }
@@ -722,7 +886,7 @@ impl<'a> Engine<'a> {
         let cap = self.cap_per_vc;
         let mut spent_total: u64 = 0;
         for q in 0..self.credits.len() {
-            let credits = self.credits[q];
+            let credits = u32::from(self.credits[q]);
             let held = self.bufs.len(q);
             assert!(
                 credits <= cap,
@@ -744,6 +908,85 @@ impl<'a> Engine<'a> {
             spent_total, accounted,
             "credit leak: {spent_total} credits spent vs {accounted} flits buffered/in flight"
         );
+    }
+
+    /// Router-cycles the skip machinery proved idle so far (mirrors
+    /// [`SimResult::skipped_router_cycles`] for mid-run inspection).
+    pub fn skipped_router_cycles(&self) -> u64 {
+        self.skip.skipped_router_cycles
+    }
+
+    /// Asserts the event-driven cycle-skip invariants (used by the skip
+    /// property tests; a no-op when skipping is disabled):
+    ///
+    /// * per-router buffered-flit counts match the flit rings;
+    /// * the port-occupancy masks mirror `port_flits` / `eject_flits`;
+    /// * a non-awake router has no queued packet and no injection
+    ///   stream;
+    /// * an asleep router holds no buffered flit at all;
+    /// * a dozing router's wake cycle is never *later* than the earliest
+    ///   `ready_at` among its buffered flits — i.e. the tracked
+    ///   next-interesting cycle never overshoots the real next possible
+    ///   state change.
+    pub fn validate_skip_invariants(&self) {
+        if !self.skip.enabled {
+            return;
+        }
+        for r in 0..self.n {
+            let (lo, hi) = self.geom.ports(r);
+            let mut buffered = 0u32;
+            let mut min_ready = u32::MAX;
+            for p in lo..hi {
+                for v in 0..self.vcs {
+                    let q = p as usize * self.vcs + v;
+                    let l = self.bufs.len(q);
+                    buffered += l;
+                    for i in 0..l {
+                        let (_, _, ready) = self.bufs.get(q, i);
+                        min_ready = min_ready.min(ready);
+                    }
+                }
+                if self.skip.masks {
+                    let bit = 1u32 << (p - lo);
+                    assert_eq!(
+                        self.skip.occ[r] & bit != 0,
+                        self.port_flits[p as usize] > 0,
+                        "router {r} port {p}: occupancy mask drift"
+                    );
+                    assert_eq!(
+                        self.skip.eject_occ[r] & bit != 0,
+                        self.eject_flits[p as usize] > 0,
+                        "router {r} port {p}: eject mask drift"
+                    );
+                }
+            }
+            assert_eq!(
+                self.skip.buffered(r),
+                buffered,
+                "router {r}: buffered-flit count drift"
+            );
+            if !self.skip.is_awake(r) {
+                assert!(
+                    self.src_q.is_empty(r),
+                    "non-awake router {r} has queued packets"
+                );
+                assert_eq!(
+                    self.inj.len(r),
+                    0,
+                    "non-awake router {r} has active injection streams"
+                );
+                let wake = self.skip.wake_at(r);
+                if wake == NONE32 {
+                    assert_eq!(buffered, 0, "asleep router {r} holds buffered flits");
+                } else {
+                    assert!(buffered > 0, "dozing router {r} holds no flit");
+                    assert!(
+                        wake <= min_ready,
+                        "router {r}: doze wake {wake} overshoots earliest ready {min_ready}"
+                    );
+                }
+            }
+        }
     }
 }
 

@@ -203,6 +203,19 @@ impl FaultCtl {
     pub(crate) fn active(&self) -> bool {
         !self.router_up.is_empty()
     }
+
+    /// The next cycle at which the fault machinery must run: the next
+    /// scheduled event or the staged table swap, whichever comes first
+    /// (`None` once the schedule is exhausted and no swap is pending).
+    /// Bounds the engine's idle leap — skipping past either would shift
+    /// its effects to a later cycle and diverge from the dense schedule.
+    pub(crate) fn next_wake(&self) -> Option<u32> {
+        let ev = self.events.get(self.next_event).map(|e| e.cycle);
+        match (ev, self.pending_swap) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
 }
 
 impl Engine<'_> {
@@ -542,13 +555,26 @@ impl Engine<'_> {
                 hit
             });
             if removed > 0 {
-                self.credits[q] += removed;
+                self.credits[q] += removed as u16;
                 self.port_flits[port] -= removed;
                 self.eject_flits[port] -= ejectable;
                 if self.bufs.is_empty(q) {
                     self.vc_occ[port] &= !1u32.wrapping_shl((q % self.vcs) as u32);
                 }
+                if self.skip.enabled {
+                    self.skip.on_drain(owner as usize, removed);
+                }
                 self.faults.dropped_flits += u64::from(removed);
+            }
+        }
+        // A purge touches many queues at once; rebuild the per-router
+        // occupancy masks wholesale from the (now re-synced) per-port
+        // counters rather than tracking per-queue mask deltas.
+        if self.skip.masks {
+            for r in 0..self.n {
+                let (lo, hi) = self.geom.ports(r);
+                self.skip
+                    .rebuild_masks(r, lo, hi, &self.port_flits, &self.eject_flits);
             }
         }
 
@@ -584,6 +610,14 @@ impl Engine<'_> {
                     s += 1;
                 }
             }
+            // Purged flits and killed streams may have fully idled the
+            // router; a doze whose flits were purged away is canceled
+            // here too. Victims returning to a source queue in Pass B5
+            // re-wake their sources explicitly.
+            if self.skip.enabled {
+                self.skip
+                    .maybe_sleep(r, self.src_q.is_empty(r), self.inj.len(r));
+            }
         }
 
         // Pass B5: return victims to their source queues (original birth
@@ -610,6 +644,9 @@ impl Engine<'_> {
             };
             self.packets.min_first_link[p] = link;
             self.src_q.push(src as usize, pkt);
+            if self.skip.enabled {
+                self.skip.wake_now(src as usize);
+            }
         }
         self.faults.retransmitted_packets += victims.len() as u64;
     }

@@ -17,6 +17,11 @@ pub struct Arrival {
     pub pkt: u32,
     /// Flit sequence number within the packet.
     pub seq: u16,
+    /// Whether the packet terminates at the receiving router. Computed
+    /// at departure, where the packet's destination is already in cache
+    /// from the routing decision — the arrival path then never touches
+    /// the packet-pool `dst` array (a cache miss per flit otherwise).
+    pub term: bool,
 }
 
 /// Fixed-latency link pipeline: a circular schedule of arrival lists,
@@ -134,6 +139,7 @@ mod tests {
                 buf: 1,
                 pkt: 10,
                 seq: 0,
+                term: false,
             },
         );
         p.depart(
@@ -142,6 +148,7 @@ mod tests {
                 buf: 2,
                 pkt: 11,
                 seq: 1,
+                term: false,
             },
         );
         assert_eq!(p.in_flight(), 2);

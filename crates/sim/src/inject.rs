@@ -55,6 +55,11 @@ impl Engine<'_> {
         };
         let id = self.packets.alloc(r, dst, cycle, measured, min_first_link);
         self.src_q.push(r as usize, id);
+        if self.skip.enabled {
+            // A queued packet makes the router interesting to every
+            // later phase this cycle (injection start, lane requests).
+            self.skip.wake_now(r as usize);
+        }
         self.total_generated += 1;
         if measured {
             self.measured_generated += 1;
@@ -83,18 +88,53 @@ impl Engine<'_> {
     }
 
     /// Ejection: up to `endpoints(r)` flits/cycle leave the network at
-    /// their destination router (rotating port priority).
+    /// their destination router (rotating port priority). With skipping
+    /// enabled only awake routers are scanned (a non-awake router has no
+    /// ready flit, so the dense scan over it ejects nothing).
     pub(crate) fn eject(&mut self, cycle: u32) {
         let in_window = self.clock.in_measurement(cycle);
-        for r in 0..self.n {
-            let mut budget = self.endpoints[r];
-            if budget == 0 {
-                continue;
+        if self.skip.enabled {
+            let list = std::mem::take(&mut self.skip.awake_list);
+            for &r in &list {
+                self.eject_router(r as usize, cycle, in_window);
             }
-            let (lo, hi) = self.geom.ports(r);
-            let ports = (hi - lo) as usize;
-            let start = crate::order::eject_start(cycle, ports);
-            'ports: for off in 0..ports {
+            self.skip.awake_list = list;
+        } else {
+            for r in 0..self.n {
+                self.eject_router(r, cycle, in_window);
+            }
+        }
+    }
+
+    /// The ejection scan of one router. With the port-occupancy masks
+    /// available only ports holding terminating flits are visited, in
+    /// the same rotated order the dense scan walks.
+    fn eject_router(&mut self, r: usize, cycle: u32, in_window: bool) {
+        let mut budget = self.endpoints[r];
+        if budget == 0 {
+            return;
+        }
+        let (lo, hi) = self.geom.ports(r);
+        let ports = (hi - lo) as usize;
+        let start = crate::order::eject_start(cycle, ports);
+        if self.skip.masks {
+            // Snapshot: ejecting clears only already-visited ports' bits.
+            let mask = self.skip.eject_occ[r];
+            for off in crate::skip::rotated_bits(mask, ports, start) {
+                if budget == 0 {
+                    break;
+                }
+                let port = lo + off as u32;
+                debug_assert!(self.eject_flits[port as usize] > 0);
+                if self.port_used[port as usize] {
+                    continue;
+                }
+                if self.eject_port(r, port, cycle, in_window) {
+                    budget -= 1;
+                }
+            }
+        } else {
+            for off in 0..ports {
                 if budget == 0 {
                     break;
                 }
@@ -105,49 +145,73 @@ impl Engine<'_> {
                 if self.port_used[port as usize] || self.eject_flits[port as usize] == 0 {
                     continue;
                 }
-                for vc in crate::router::VcIter::new(self.vc_occ[port as usize], self.vcs) {
-                    let qidx = port as usize * self.vcs + vc;
-                    let Some((pkt, seq, ready_at)) = self.bufs.front(qidx) else {
-                        continue;
-                    };
-                    if ready_at > cycle || self.packets.dst[pkt as usize] != r as u32 {
-                        continue;
-                    }
-                    // Eject one flit from this port.
-                    self.bufs.pop_front(qidx);
-                    self.port_flits[port as usize] -= 1;
-                    self.eject_flits[port as usize] -= 1;
-                    if self.bufs.is_empty(qidx) {
-                        self.vc_occ[port as usize] &= !1u32.wrapping_shl(vc as u32);
-                    }
-                    self.credits[qidx] += 1;
-                    self.port_used[port as usize] = true;
+                if self.eject_port(r, port, cycle, in_window) {
                     budget -= 1;
-                    if in_window {
-                        self.window_flits_ejected += 1;
-                    }
-                    if seq == self.cfg.packet_flits - 1 {
-                        self.total_delivered += 1;
-                        // Per-packet completion callback: the workload
-                        // driver counts the message delivered once all
-                        // of its packets have ejected, unblocking the
-                        // tasks that receive it.
-                        if let Some(w) = self.workload.as_mut() {
-                            w.on_packet_delivered(pkt, cycle);
-                        }
-                        if self.packets.measured[pkt as usize] {
-                            self.measured_delivered += 1;
-                            let latency = cycle - self.packets.birth[pkt as usize] + 1;
-                            // Arrival VC class h−1 ⇒ the packet took h hops.
-                            let hops = (vc / self.per_class) as u32 + 1;
-                            self.stats.record(latency, hops);
-                        }
-                        self.packets.release(pkt);
-                    }
-                    continue 'ports;
                 }
             }
         }
+    }
+
+    /// Ejects at most one ready terminating flit from `port` (the
+    /// per-port half of [`Engine::eject_router`]); reports whether a
+    /// flit left.
+    fn eject_port(&mut self, r: usize, port: u32, cycle: u32, in_window: bool) -> bool {
+        for vc in crate::router::VcIter::new(self.vc_occ[port as usize], self.vcs) {
+            let qidx = port as usize * self.vcs + vc;
+            let Some((pkt, seq, ready_at)) = self.bufs.front(qidx) else {
+                continue;
+            };
+            if ready_at > cycle || !self.bufs.head_term(qidx) {
+                continue;
+            }
+            // Eject one flit from this port.
+            self.bufs.pop_front(qidx);
+            self.port_flits[port as usize] -= 1;
+            self.eject_flits[port as usize] -= 1;
+            if self.bufs.is_empty(qidx) {
+                self.vc_occ[port as usize] &= !1u32.wrapping_shl(vc as u32);
+            }
+            if self.skip.enabled {
+                if self.skip.masks {
+                    let bit = 1u32 << (port - self.geom.ports(r).0);
+                    if self.port_flits[port as usize] == 0 {
+                        self.skip.occ[r] &= !bit;
+                    }
+                    if self.eject_flits[port as usize] == 0 {
+                        self.skip.eject_occ[r] &= !bit;
+                    }
+                }
+                if self.skip.on_drain(r, 1) {
+                    self.skip
+                        .maybe_sleep(r, self.src_q.is_empty(r), self.inj.len(r));
+                }
+            }
+            self.credits[qidx] += 1;
+            self.port_used[port as usize] = true;
+            if in_window {
+                self.window_flits_ejected += 1;
+            }
+            if seq == self.cfg.packet_flits - 1 {
+                self.total_delivered += 1;
+                // Per-packet completion callback: the workload
+                // driver counts the message delivered once all
+                // of its packets have ejected, unblocking the
+                // tasks that receive it.
+                if let Some(w) = self.workload.as_mut() {
+                    w.on_packet_delivered(pkt, cycle);
+                }
+                if self.packets.measured[pkt as usize] {
+                    self.measured_delivered += 1;
+                    let latency = cycle - self.packets.birth[pkt as usize] + 1;
+                    // Arrival VC class h−1 ⇒ the packet took h hops.
+                    let hops = (vc / self.per_class) as u32 + 1;
+                    self.stats.record(latency, hops);
+                }
+                self.packets.release(pkt);
+            }
+            return true;
+        }
+        false
     }
 
     /// Sharded ejection, probe half: replays the serial [`Engine::eject`]
@@ -166,6 +230,12 @@ impl Engine<'_> {
         stage.ejects.clear();
         for &r in routers {
             let r = r as usize;
+            if self.skip.enabled && !self.skip.is_awake(r) {
+                // Perf-only filter, no decision influence: a non-awake
+                // router has no ready flit, so the replay below would
+                // stage nothing for it either way.
+                continue;
+            }
             let mut budget = self.endpoints[r];
             if budget == 0 {
                 continue;
@@ -189,7 +259,7 @@ impl Engine<'_> {
                     let Some((pkt, seq, ready_at)) = self.bufs.front(qidx) else {
                         continue;
                     };
-                    if ready_at > cycle || self.packets.dst[pkt as usize] != r as u32 {
+                    if ready_at > cycle || !self.bufs.head_term(qidx) {
                         continue;
                     }
                     stage.ejects.push(crate::shard::EjectAction {
@@ -231,6 +301,22 @@ impl Engine<'_> {
                 if self.bufs.is_empty(q) {
                     self.vc_occ[port] &= !1u32.wrapping_shl(vc as u32);
                 }
+                if self.skip.enabled {
+                    let r = port_owner[port] as usize;
+                    if self.skip.masks {
+                        let bit = 1u32 << (port as u32 - self.geom.ports(r).0);
+                        if self.port_flits[port] == 0 {
+                            self.skip.occ[r] &= !bit;
+                        }
+                        if self.eject_flits[port] == 0 {
+                            self.skip.eject_occ[r] &= !bit;
+                        }
+                    }
+                    if self.skip.on_drain(r, 1) {
+                        self.skip
+                            .maybe_sleep(r, self.src_q.is_empty(r), self.inj.len(r));
+                    }
+                }
                 self.credits[q] += 1;
                 self.port_used[port] = true;
                 if in_window {
@@ -263,73 +349,86 @@ impl Engine<'_> {
     /// Scans each source queue's head window, runs the routing plan, and
     /// promotes packets that win a class-0 output VC into injection
     /// streams (head-of-line relief: losers are skipped, not blocking).
+    /// With skipping enabled only awake routers are scanned — a
+    /// non-empty source queue forces its router awake, so the awake list
+    /// covers every router this scan (and its RNG draws) would touch.
     pub(crate) fn start_injections(&mut self) {
-        for r in 0..self.n as u32 {
-            let ru = r as usize;
-            if self.endpoints[ru] == 0 || self.src_q.is_empty(ru) {
-                continue;
+        if self.skip.enabled {
+            let list = std::mem::take(&mut self.skip.awake_list);
+            for &r in &list {
+                self.start_injections_router(r);
             }
-            if self.transient && !self.faults.router_up[ru] {
-                continue; // a down router injects nothing
+            self.skip.awake_list = list;
+        } else {
+            for r in 0..self.n as u32 {
+                self.start_injections_router(r);
             }
-            let window = self.cfg.inject_window.min(self.src_q.len(ru));
-            let mut started = std::mem::take(&mut self.started_scratch);
-            started.clear();
-            for idx in 0..window {
-                if !self.inj.has_capacity(ru) {
-                    break;
-                }
-                let pkt_id = self.src_q.get(ru, idx);
-                let dst = self.packets.dst[pkt_id as usize];
-                if !self.dst_routable(r, dst) {
-                    continue; // held until the destination is routable again
-                }
-                // Decide min-vs-Valiant and the intermediate (§VII; UGAL
-                // decisions read current buffer state).
-                let plan = self.algo.plan(&net_view!(self), r, dst, &mut self.rng);
-                // A draw that degenerates to an endpoint means "minimal".
-                let mid = match plan {
-                    RoutePlan::Detour(m) if m != r && m != dst => m,
-                    _ => NONE32,
-                };
-                self.packets.mid[pkt_id as usize] = mid;
-                // First hop toward mid (if any) or dst.
-                let first_target = if mid != NONE32 { mid } else { dst };
-                let hop = HopContext {
-                    router: r,
-                    target: first_target,
-                };
-                let port_i = crate::routing::route_output(
-                    self.algo.as_ref(),
-                    &net_view!(self),
-                    self.faults.pending_tables.as_ref(),
-                    &mut self.packets.frr_pinned,
-                    pkt_id,
-                    hop,
-                    &mut self.rng,
-                );
-                let out_port = self.geom.downstream(r, port_i as usize);
-                // Injection uses class 0: any free VC in [0, per_class).
-                let Some(vc) = crate::flow::claim_vc(
-                    &mut self.out_owner,
-                    out_port,
-                    self.vcs,
-                    0,
-                    self.per_class,
-                ) else {
-                    continue; // try the next queued packet (HoL relief)
-                };
-                let out_idx = out_port as usize * self.vcs + vc as usize;
-                let charged = self.packets.min_first_link[pkt_id as usize];
-                if charged != NONE32 {
-                    self.inj_wait[charged as usize] -= 1;
-                    self.packets.min_first_link[pkt_id as usize] = NONE32;
-                }
-                self.inj.push(ru, pkt_id, out_idx as u32);
-                started.push(idx);
-            }
-            self.src_q.remove_front(ru, &started, window);
-            self.started_scratch = started;
         }
+    }
+
+    /// The injection-start scan of one router.
+    fn start_injections_router(&mut self, r: u32) {
+        let ru = r as usize;
+        if self.endpoints[ru] == 0 || self.src_q.is_empty(ru) {
+            return;
+        }
+        if self.transient && !self.faults.router_up[ru] {
+            return; // a down router injects nothing
+        }
+        let window = self.cfg.inject_window.min(self.src_q.len(ru));
+        let mut started = std::mem::take(&mut self.started_scratch);
+        started.clear();
+        for idx in 0..window {
+            if !self.inj.has_capacity(ru) {
+                break;
+            }
+            let pkt_id = self.src_q.get(ru, idx);
+            let dst = self.packets.dst[pkt_id as usize];
+            if !self.dst_routable(r, dst) {
+                continue; // held until the destination is routable again
+            }
+            // Decide min-vs-Valiant and the intermediate (§VII; UGAL
+            // decisions read current buffer state).
+            let plan = self.algo.plan(&net_view!(self), r, dst, &mut self.rng);
+            // A draw that degenerates to an endpoint means "minimal".
+            let mid = match plan {
+                RoutePlan::Detour(m) if m != r && m != dst => m,
+                _ => NONE32,
+            };
+            self.packets.mid[pkt_id as usize] = mid;
+            // First hop toward mid (if any) or dst.
+            let first_target = if mid != NONE32 { mid } else { dst };
+            let hop = HopContext {
+                router: r,
+                target: first_target,
+            };
+            let port_i = crate::routing::route_output(
+                self.algo.as_ref(),
+                &net_view!(self),
+                self.faults.pending_tables.as_ref(),
+                &mut self.packets.frr_pinned,
+                pkt_id,
+                hop,
+                &mut self.rng,
+            );
+            let out_port = self.geom.downstream(r, port_i as usize);
+            // Injection uses class 0: any free VC in [0, per_class).
+            let Some(vc) =
+                crate::flow::claim_vc(&mut self.out_owner, out_port, self.vcs, 0, self.per_class)
+            else {
+                continue; // try the next queued packet (HoL relief)
+            };
+            let out_idx = out_port as usize * self.vcs + vc as usize;
+            let charged = self.packets.min_first_link[pkt_id as usize];
+            if charged != NONE32 {
+                self.inj_wait[charged as usize] -= 1;
+                self.packets.min_first_link[pkt_id as usize] = NONE32;
+            }
+            let term = self.port_owner[out_port as usize] == dst;
+            self.inj.push(ru, pkt_id, out_idx as u32, term);
+            started.push(idx);
+        }
+        self.src_q.remove_front(ru, &started, window);
+        self.started_scratch = started;
     }
 }

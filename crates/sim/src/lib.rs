@@ -88,6 +88,7 @@ pub mod queues;
 pub mod router;
 pub mod routing;
 pub(crate) mod shard;
+pub(crate) mod skip;
 pub mod stats;
 pub mod sweep;
 pub mod tables;

@@ -70,6 +70,15 @@ impl PhaseClock {
     pub fn deadline(&self) -> u32 {
         self.steady_end().saturating_add(self.drain_max)
     }
+
+    /// The last cycle the dense loop would actually execute (the loop
+    /// runs `0..deadline()`). The event-driven idle leap must never
+    /// target a later cycle: leaping *to* the deadline would execute a
+    /// cycle the dense schedule never runs.
+    #[inline]
+    pub fn last_cycle(&self) -> u32 {
+        self.deadline().saturating_sub(1)
+    }
 }
 
 #[cfg(test)]
@@ -93,6 +102,7 @@ mod tests {
         assert!(!c.in_measurement(30));
         assert_eq!(c.steady_end(), 30);
         assert_eq!(c.deadline(), 35);
+        assert_eq!(c.last_cycle(), 34);
     }
 
     #[test]

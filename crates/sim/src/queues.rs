@@ -93,6 +93,11 @@ impl SourceQueues {
     }
 
     /// Appends a packet id at router `r`.
+    ///
+    /// Skip contract: a non-empty source queue forces its router awake
+    /// (`crate::skip::SkipCtl` sleeps a router only when this queue is
+    /// empty), so every engine call site pairs a `push` with
+    /// `SkipCtl::wake_now` when cycle skipping is enabled.
     #[inline]
     pub fn push(&mut self, r: usize, pkt: u32) {
         self.q[r].push_back(pkt);

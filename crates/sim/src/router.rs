@@ -78,47 +78,63 @@ impl PortMap {
     }
 }
 
-/// One buffered flit: packet id, arrival-ready cycle, and sequence
-/// number, packed so a head probe touches one cache line instead of
-/// three (the hot loops' dominant memory traffic).
+/// One buffered flit: packet id, arrival-ready cycle, sequence number,
+/// and whether the packet *terminates* at the buffering router, packed
+/// so a head probe touches one cache line instead of three (the hot
+/// loops' dominant memory traffic). `term` is computed once at arrival
+/// (`dst == port owner`; both are immutable while the flit is buffered)
+/// so the eject and request scans never chase the packet-pool `dst`
+/// array.
 #[derive(Debug, Clone, Copy, Default)]
 struct FlitSlot {
     pkt: u32,
     ready: u32,
     seq: u16,
+    term: bool,
+}
+
+/// Per-queue ring metadata packed with the head-flit copy into one
+/// 16-byte record, so a head probe, push, or pop touches a single cache
+/// line (four queues per line) instead of three parallel arrays.
+/// `hf` is valid iff `len > 0`.
+#[derive(Debug, Clone, Copy, Default)]
+struct QueueMeta {
+    hf: FlitSlot,
+    head: u16,
+    len: u16,
 }
 
 /// All (port, VC) flit buffers as flat ring buffers.
 ///
-/// Queue `q` owns slots `[q·cap, (q+1)·cap)`; `head[q]` and `len[q]`
-/// define the live window. Capacity is fixed: the credit protocol
-/// guarantees a sender never pushes into a full buffer. There is no
-/// global occupancy counter — per-queue state is the only mutable state,
-/// so disjoint queues can be operated on from different shards without
-/// sharing a cell ([`FlitRings::total_flits`] sums on demand).
+/// Queue `q` owns slots `[q·cap, (q+1)·cap)`; `meta[q]` holds the live
+/// window (`head`, `len`) and a copy of the head flit. Capacity is
+/// fixed: the credit protocol guarantees a sender never pushes into a
+/// full buffer. There is no global occupancy counter — per-queue state
+/// is the only mutable state, so disjoint queues can be operated on
+/// from different shards without sharing a cell
+/// ([`FlitRings::total_flits`] sums on demand). The hot loops probe
+/// heads far more often than they pop, and the dense `meta` array stays
+/// cache-resident while `slots` (cap× larger) does not — `front` reads
+/// only `meta`; pops and purges refill the head copy.
 pub struct FlitRings {
     cap: u32,
     slots: Vec<FlitSlot>,
-    head: Vec<u32>,
-    len: Vec<u32>,
-    /// Copy of each queue's head flit (valid iff `len[q] > 0`). The hot
-    /// loops probe heads far more often than they pop, and this dense
-    /// array stays cache-resident while `slots` (cap× larger) does not —
-    /// `front` reads only this; pops and purges refill it.
-    head_flit: Vec<FlitSlot>,
+    meta: Vec<QueueMeta>,
 }
 
 impl FlitRings {
     /// `queues` buffers of `cap` flits each.
     pub fn new(queues: usize, cap: u32) -> FlitRings {
         assert!(cap > 0, "flit ring capacity must be positive");
+        assert!(
+            cap <= u16::MAX as u32,
+            "flit ring capacity exceeds the packed u16 ring window"
+        );
         let slots = queues * cap as usize;
         FlitRings {
             cap,
             slots: vec![FlitSlot::default(); slots],
-            head: vec![0; queues],
-            len: vec![0; queues],
-            head_flit: vec![FlitSlot::default(); queues],
+            meta: vec![QueueMeta::default(); queues],
         }
     }
 
@@ -131,26 +147,27 @@ impl FlitRings {
     /// Occupancy of queue `q`.
     #[inline]
     pub fn len(&self, q: usize) -> u32 {
-        self.len[q]
+        u32::from(self.meta[q].len)
     }
 
     /// Whether queue `q` is empty.
     #[inline]
     pub fn is_empty(&self, q: usize) -> bool {
-        self.len[q] == 0
+        self.meta[q].len == 0
     }
 
     /// Total flits across all queues. O(queues) — diagnostic/test use,
     /// never on the hot path.
     #[inline]
     pub fn total_flits(&self) -> usize {
-        self.len.iter().map(|&l| l as usize).sum()
+        self.meta.iter().map(|m| m.len as usize).sum()
     }
 
     #[inline]
     fn slot(&self, q: usize, i: u32) -> usize {
-        debug_assert!(i < self.len[q]);
-        let mut off = self.head[q] + i;
+        let m = self.meta[q];
+        debug_assert!(i < u32::from(m.len));
+        let mut off = u32::from(m.head) + i;
         if off >= self.cap {
             off -= self.cap;
         }
@@ -158,49 +175,68 @@ impl FlitRings {
     }
 
     /// Appends a flit; panics (debug) on overflow — the credit loop must
-    /// prevent it.
+    /// prevent it. `term` marks a flit whose packet terminates at the
+    /// buffering router (see [`FlitRings::head_term`]).
     #[inline]
-    pub fn push_back(&mut self, q: usize, pkt: u32, seq: u16, ready: u32) {
+    pub fn push_back(&mut self, q: usize, pkt: u32, seq: u16, ready: u32, term: bool) {
+        let m = &mut self.meta[q];
         debug_assert!(
-            self.len[q] < self.cap,
+            u32::from(m.len) < self.cap,
             "flit ring overflow: credits out of sync"
         );
-        let mut off = self.head[q] + self.len[q];
+        let mut off = u32::from(m.head) + u32::from(m.len);
         if off >= self.cap {
             off -= self.cap;
         }
-        let s = q * self.cap as usize + off as usize;
-        let f = FlitSlot { pkt, ready, seq };
-        self.slots[s] = f;
-        if self.len[q] == 0 {
-            self.head_flit[q] = f;
+        let f = FlitSlot {
+            pkt,
+            ready,
+            seq,
+            term,
+        };
+        if m.len == 0 {
+            m.hf = f;
         }
-        self.len[q] += 1;
+        m.len += 1;
+        let s = q * self.cap as usize + off as usize;
+        self.slots[s] = f;
     }
 
     /// Head flit of queue `q` as `(pkt, seq, ready_at)`.
     #[inline]
     pub fn front(&self, q: usize) -> Option<(u32, u16, u32)> {
-        if self.len[q] == 0 {
+        let m = self.meta[q];
+        if m.len == 0 {
             return None;
         }
-        let f = self.head_flit[q];
-        Some((f.pkt, f.seq, f.ready))
+        Some((m.hf.pkt, m.hf.seq, m.hf.ready))
+    }
+
+    /// Whether the head flit of queue `q` terminates at the buffering
+    /// router. Only valid when the queue is nonempty; reads the
+    /// cache-resident head copy, sparing the packet-pool `dst` lookup on
+    /// the eject/request hot paths.
+    #[inline]
+    pub fn head_term(&self, q: usize) -> bool {
+        debug_assert!(self.meta[q].len > 0);
+        self.meta[q].hf.term
     }
 
     /// Removes the head flit of queue `q`.
     #[inline]
     pub fn pop_front(&mut self, q: usize) {
-        debug_assert!(self.len[q] > 0);
-        let mut h = self.head[q] + 1;
+        let mut m = self.meta[q];
+        debug_assert!(m.len > 0);
+        let mut h = u32::from(m.head) + 1;
         if h >= self.cap {
             h -= self.cap;
         }
-        self.head[q] = h;
-        self.len[q] -= 1;
-        if self.len[q] > 0 {
-            self.head_flit[q] = self.slots[q * self.cap as usize + h as usize];
+        m.head = h as u16;
+        m.len -= 1;
+        if m.len > 0 {
+            m.hf = self.slots[q * self.cap as usize + h as usize];
         }
+        self.meta[q] = m;
     }
 
     /// Flit `i` positions behind the head (test/diagnostic access).
@@ -215,14 +251,14 @@ impl FlitRings {
     /// removed. O(queue length) — called only at (rare) fault events,
     /// never from the hot loops.
     pub(crate) fn purge_queue<F: FnMut(u32) -> bool>(&mut self, q: usize, mut victim: F) -> u32 {
-        let len = self.len[q];
+        let len = u32::from(self.meta[q].len);
         if len == 0 {
             return 0;
         }
         let base = q * self.cap as usize;
         let mut kept: Vec<FlitSlot> = Vec::with_capacity(len as usize);
         for i in 0..len {
-            let mut off = self.head[q] + i;
+            let mut off = u32::from(self.meta[q].head) + i;
             if off >= self.cap {
                 off -= self.cap;
             }
@@ -235,13 +271,13 @@ impl FlitRings {
         if removed == 0 {
             return 0;
         }
-        self.head[q] = 0;
-        self.len[q] = kept.len() as u32;
+        self.meta[q].head = 0;
+        self.meta[q].len = kept.len() as u16;
         for (i, f) in kept.into_iter().enumerate() {
             self.slots[base + i] = f;
         }
-        if self.len[q] > 0 {
-            self.head_flit[q] = self.slots[base];
+        if self.meta[q].len > 0 {
+            self.meta[q].hf = self.slots[base];
         }
         removed
     }
@@ -311,6 +347,9 @@ pub struct InjPool {
     pub(crate) next_seq: Vec<u16>,
     pub(crate) out_buf: Vec<u32>,
     pub(crate) last_sent: Vec<u32>,
+    /// Whether the stream's packet terminates at the downstream router
+    /// (cached at injection start — see [`crate::flow::Arrival::term`]).
+    pub(crate) term: Vec<bool>,
 }
 
 impl InjPool {
@@ -329,6 +368,7 @@ impl InjPool {
             next_seq: vec![0; slots],
             out_buf: vec![0; slots],
             last_sent: vec![0; slots],
+            term: vec![false; slots],
         }
     }
 
@@ -353,13 +393,14 @@ impl InjPool {
 
     /// Starts a stream; caller must have checked [`InjPool::has_capacity`].
     #[inline]
-    pub fn push(&mut self, r: usize, pkt: u32, out_buf: u32) {
+    pub fn push(&mut self, r: usize, pkt: u32, out_buf: u32, term: bool) {
         debug_assert!(self.has_capacity(r));
         let s = (self.base[r] + self.len[r]) as usize;
         self.pkt[s] = pkt;
         self.next_seq[s] = 0;
         self.out_buf[s] = out_buf;
         self.last_sent[s] = NONE32;
+        self.term[s] = term;
         self.len[r] += 1;
     }
 
@@ -373,6 +414,7 @@ impl InjPool {
         self.next_seq[slot] = self.next_seq[last];
         self.out_buf[slot] = self.out_buf[last];
         self.last_sent[slot] = self.last_sent[last];
+        self.term[slot] = self.term[last];
         self.len[r] -= 1;
     }
 
@@ -388,6 +430,7 @@ impl InjPool {
                 self.next_seq[slot] = self.next_seq[last];
                 self.out_buf[slot] = self.out_buf[last];
                 self.last_sent[slot] = self.last_sent[last];
+                self.term[slot] = self.term[last];
                 self.len[r] -= 1;
             } else {
                 s += 1;
@@ -410,8 +453,9 @@ mod tests {
         let mut r = FlitRings::new(2, 4);
         for round in 0..5u32 {
             for i in 0..4u32 {
-                r.push_back(1, 100 + i, i as u16, round);
+                r.push_back(1, 100 + i, i as u16, round, i % 2 == 0);
             }
+            assert!(r.head_term(1));
             assert_eq!(r.len(1), 4);
             assert!(r.is_empty(0));
             for i in 0..4u32 {
@@ -428,8 +472,8 @@ mod tests {
     fn inj_pool_push_and_sweep() {
         let mut p = InjPool::new(&[2, 3]);
         assert!(p.has_capacity(0));
-        p.push(0, 7, 100);
-        p.push(0, 8, 101);
+        p.push(0, 7, 100, false);
+        p.push(0, 8, 101, true);
         assert!(!p.has_capacity(0));
         // Finish stream 0 and sweep: stream 1 survives via swap-remove.
         let s0 = p.slot(0, 0);

@@ -51,7 +51,7 @@ pub struct NetState<'e> {
     /// free of mask loads.
     pub degraded: bool,
     /// Free slots per (input-buffer, VC) queue — the sender's credit view.
-    pub credits: &'e [u32],
+    pub credits: &'e [u16],
     /// Source-queue backlog charged per minimal first-hop link (packets).
     pub inj_wait: &'e [u32],
     /// Virtual channels per port.
@@ -83,7 +83,7 @@ impl NetState<'_> {
         let link = self.geom.downstream(r, i) as usize;
         let mut occ = 0;
         for vc in 0..self.vcs {
-            occ += self.cap_per_vc - self.credits[link * self.vcs + vc];
+            occ += self.cap_per_vc - u32::from(self.credits[link * self.vcs + vc]);
         }
         occ
     }
@@ -103,7 +103,7 @@ impl NetState<'_> {
         let link = self.geom.downstream(r, i) as usize;
         let mut occ = 0;
         for vc in 0..self.per_class {
-            occ += self.cap_per_vc - self.credits[link * self.vcs + vc];
+            occ += self.cap_per_vc - u32::from(self.credits[link * self.vcs + vc]);
         }
         occ + self.inj_wait[link] * u32::from(self.packet_flits)
     }

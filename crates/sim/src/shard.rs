@@ -93,6 +93,9 @@ pub(crate) enum Cand {
         set_passed_mid: bool,
         /// The probe fast-rerouted onto the pending tables (pin it).
         set_pin: bool,
+        /// The packet terminates at the downstream router (cached for
+        /// the route claim's `term_next` — see [`crate::flow::Arrival`]).
+        term_next: bool,
     },
 }
 
@@ -142,7 +145,6 @@ pub(crate) struct ShardObsAcc {
     pub(crate) boundary_links: u32,
     pub(crate) boundary_flits: u64,
     pub(crate) busy_cycles: u64,
-    pub(crate) barrier_wait_ns: u64,
 }
 
 /// Which probe a fork-join region runs.
@@ -171,6 +173,11 @@ pub(crate) struct ShardRuntime {
     /// Per-cycle "moved a flit" marks, folded into `busy_cycles` at the
     /// end of every step.
     pub(crate) cycle_busy: Vec<bool>,
+    /// Wall-clock ns the master thread spent waiting for straggler
+    /// workers at fork-join barriers. The wait belongs to the master,
+    /// not to any shard's workers, so it is reported as
+    /// `SimResult::master_barrier_wait_ns` rather than on a shard row.
+    pub(crate) master_barrier_wait_ns: u64,
     /// Scratch merge cursors (one per shard).
     merge_idx: Vec<usize>,
 }
@@ -216,6 +223,7 @@ impl ShardRuntime {
             stages,
             obs,
             cycle_busy: vec![false; k],
+            master_barrier_wait_ns: 0,
             merge_idx: vec![0; k],
         }
     }
@@ -223,7 +231,7 @@ impl ShardRuntime {
     /// Runs one fork-join probe region: shards `1..K` on scoped worker
     /// threads, shard 0 on the calling (master) thread, then joins. The
     /// join is the cycle barrier; the master's wait for stragglers is
-    /// accumulated into shard 0's `barrier_wait_ns`.
+    /// accumulated into `master_barrier_wait_ns`.
     pub(crate) fn probe(&mut self, eng: &Engine<'_>, cycle: u32, phase: ProbePhase) {
         // pf-analyze: allow(wall-clock-ban) — measures master barrier wait for ShardObs; excluded from the parity contract
         let t0 = Instant::now();
@@ -238,7 +246,7 @@ impl ShardRuntime {
             run_probe(eng, &routers[0], &mut master[0], cycle, phase);
             self_done = t0.elapsed();
         });
-        self.obs[0].barrier_wait_ns += t0.elapsed().saturating_sub(self_done).as_nanos() as u64;
+        self.master_barrier_wait_ns += t0.elapsed().saturating_sub(self_done).as_nanos() as u64;
     }
 
     /// Records one granted flit traversal from router `src` to router
@@ -336,7 +344,6 @@ impl ShardRuntime {
                 boundary_links: o.boundary_links,
                 boundary_flits: o.boundary_flits,
                 busy_cycles: o.busy_cycles,
-                barrier_wait_ns: o.barrier_wait_ns,
             })
             .collect()
     }

@@ -21,7 +21,22 @@ pub struct SimResult {
     pub delivered: u64,
     /// `true` when not all measured packets drained — the network is past
     /// saturation at this offered load and `avg_latency` is a lower bound.
+    /// Closed-loop runs set it only when the deadline expired *and* the
+    /// network was still moving traffic (over-slow, not wedged).
     pub saturated: bool,
+    /// `true` when the run's deadline cut it short: the drain budget on
+    /// open-loop runs (where it equals `saturated`), or
+    /// `SimConfig::workload_deadline` on closed-loop runs — where
+    /// `deadline_expired && !saturated` distinguishes a *wedged* DAG
+    /// (nothing left in flight, yet undrained) from an over-slow but
+    /// live one.
+    pub deadline_expired: bool,
+    /// Router-cycles the event-driven skip machinery proved idle and
+    /// never scanned (`SimConfig::skip`; 0 with skipping disabled). A
+    /// pure execution counter: every simulated field is bit-identical
+    /// with and without skipping (pinned by the dense-vs-skip parity
+    /// tests).
+    pub skipped_router_cycles: u64,
     /// Flits dropped by the transient-fault drop-and-retransmit policy
     /// (0 on healthy/static runs and under the drain policy).
     pub dropped_flits: u64,
@@ -49,6 +64,12 @@ pub struct SimResult {
     /// other field of this struct is bit-identical across shard counts
     /// (pinned by the shard parity tests).
     pub shards: Vec<ShardObs>,
+    /// Wall-clock nanoseconds the *master* thread spent waiting for
+    /// straggler workers at fork-join barriers on a sharded run (0 on
+    /// serial runs). Purely diagnostic — excluded from parity
+    /// comparisons. Lives here rather than on a [`ShardObs`] row because
+    /// the wait belongs to the master, not to any shard's workers.
+    pub master_barrier_wait_ns: u64,
 }
 
 /// Execution observability of one engine shard (see `DESIGN.md`,
@@ -65,10 +86,6 @@ pub struct ShardObs {
     /// Cycles in which this shard moved at least one flit (traversal or
     /// ejection).
     pub busy_cycles: u64,
-    /// Wall-clock nanoseconds the master spent waiting for straggler
-    /// workers at fork-join barriers (accumulated on shard 0; purely
-    /// diagnostic — excluded from parity comparisons).
-    pub barrier_wait_ns: u64,
 }
 
 /// Completion outcome of one closed-loop job (see `pf_sim::drive`).
@@ -97,7 +114,7 @@ pub struct JobResult {
 
 /// Observed span of one workload phase (tasks and message deliveries
 /// sharing the phase tag).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PhaseResult {
     /// The phase tag the workload generator assigned.
     pub phase: u32,
@@ -158,12 +175,20 @@ impl LatencyStats {
         }
     }
 
-    /// The `pct` percentile (e.g. 0.99) of recorded latencies.
+    /// The `pct` percentile (e.g. 0.99) of recorded latencies, by the
+    /// nearest-rank definition: the smallest sample such that at least
+    /// `pct` of the samples are ≤ it (rank `ceil(pct·n)`, clamped to
+    /// `[1, n]` so out-of-range `pct` degrades to min/max instead of
+    /// panicking). 0 if empty. Exact for tiny samples: `n < 1/(1-pct)`
+    /// (e.g. p99 of under 100 packets) reports the maximum, never an
+    /// interpolated or out-of-bounds rank.
     pub fn percentile(&mut self, pct: f64) -> f64 {
         if self.samples.is_empty() {
             return 0.0;
         }
-        let idx = ((self.samples.len() as f64 - 1.0) * pct).round() as usize;
+        let n = self.samples.len();
+        let rank = (pct * n as f64).ceil() as usize;
+        let idx = rank.clamp(1, n) - 1;
         let (_, v, _) = self.samples.select_nth_unstable(idx);
         f64::from(*v)
     }
@@ -190,5 +215,68 @@ mod tests {
         let mut s = LatencyStats::default();
         assert_eq!(s.mean(), 0.0);
         assert_eq!(s.percentile(0.5), 0.0);
+        assert_eq!(s.percentile(0.99), 0.0);
+    }
+
+    fn stats_of(samples: &[u32]) -> LatencyStats {
+        let mut s = LatencyStats::default();
+        for &l in samples {
+            s.record(l, 1);
+        }
+        s
+    }
+
+    #[test]
+    fn percentile_nearest_rank_tiny_samples() {
+        // n = 1: every percentile is the single sample.
+        let mut s = stats_of(&[42]);
+        assert_eq!(s.percentile(0.0), 42.0);
+        assert_eq!(s.percentile(0.5), 42.0);
+        assert_eq!(s.percentile(0.99), 42.0);
+        assert_eq!(s.percentile(1.0), 42.0);
+
+        // n = 3: p50 rank = ceil(1.5) = 2, p99 rank = ceil(2.97) = 3.
+        let mut s = stats_of(&[30, 10, 20]);
+        assert_eq!(s.percentile(0.5), 20.0);
+        assert_eq!(s.percentile(0.99), 30.0);
+
+        // n = 4: p50 rank = ceil(2.0) = 2 exactly — the classic
+        // nearest-rank half-sample case (NOT the 3rd sample).
+        let mut s = stats_of(&[40, 10, 30, 20]);
+        assert_eq!(s.percentile(0.5), 20.0);
+        assert_eq!(s.percentile(0.75), 30.0);
+        assert_eq!(s.percentile(0.99), 40.0);
+
+        // n = 10: p50 rank = ceil(5.0) = 5; p90 rank = 9; p99 rank = 10.
+        let mut s = stats_of(&[100, 10, 90, 20, 80, 30, 70, 40, 60, 50]);
+        assert_eq!(s.percentile(0.5), 50.0);
+        assert_eq!(s.percentile(0.9), 90.0);
+        assert_eq!(s.percentile(0.99), 100.0);
+    }
+
+    #[test]
+    fn percentile_p99_under_100_samples_is_max() {
+        // With fewer than 100 samples, rank ceil(0.99·n) = n: p99 must
+        // be the maximum, never an interpolated lower sample.
+        for n in [2usize, 5, 50, 99] {
+            let samples: Vec<u32> = (1..=n as u32).collect();
+            let mut s = stats_of(&samples);
+            assert_eq!(s.percentile(0.99), n as f64, "n = {n}");
+        }
+        // At exactly n = 100 the rank drops below the max for the first
+        // time: ceil(99.0) = 99 → the 99th smallest.
+        let samples: Vec<u32> = (1..=100).collect();
+        let mut s = stats_of(&samples);
+        assert_eq!(s.percentile(0.99), 99.0);
+    }
+
+    #[test]
+    fn percentile_out_of_range_pct_clamps() {
+        let mut s = stats_of(&[10, 20, 30]);
+        // Degenerate pct values clamp to min/max instead of panicking.
+        assert_eq!(s.percentile(-1.0), 10.0);
+        assert_eq!(s.percentile(0.0), 10.0);
+        assert_eq!(s.percentile(1.0), 30.0);
+        assert_eq!(s.percentile(2.0), 30.0);
     }
 }

@@ -73,7 +73,7 @@ fn masked_algebraic_next_hop_is_residual_minimal() {
     let geom = PortMap::build(degraded.graph());
     let link_up = mask_for(degraded.graph(), &geom, &failures);
     let cfg = SimConfig::default();
-    let credits = vec![cfg.cap_per_vc(); geom.num_ports() * cfg.vcs()];
+    let credits = vec![cfg.cap_per_vc() as u16; geom.num_ports() * cfg.vcs()];
     let inj_wait = vec![0u32; geom.num_ports()];
     let net = NetState {
         tables: &tables,

@@ -30,12 +30,14 @@ proptest! {
             if rng.gen::<f64>() < 0.55 {
                 if model[q].len() < cap as usize {
                     let flit = (stamp, (stamp % 7) as u16, stamp / 3);
-                    rings.push_back(q, flit.0, flit.1, flit.2);
+                    rings.push_back(q, flit.0, flit.1, flit.2, flit.0.is_multiple_of(2));
                     model[q].push_back(flit);
                     stamp += 1;
                 }
             } else if let Some(expect) = model[q].pop_front() {
                 prop_assert_eq!(rings.front(q), Some(expect));
+                // The cached termination flag rides the head slot.
+                prop_assert_eq!(rings.head_term(q), expect.0 % 2 == 0);
                 rings.pop_front(q);
             } else {
                 prop_assert_eq!(rings.front(q), None);

@@ -22,7 +22,7 @@ struct ParityHarness {
     tables: RouteTables,
     geom: PortMap,
     link_up: Vec<bool>,
-    credits: Vec<u32>,
+    credits: Vec<u16>,
     inj_wait: Vec<u32>,
     cfg: SimConfig,
 }
@@ -35,7 +35,7 @@ impl ParityHarness {
         ParityHarness {
             tables: RouteTables::build(topo.graph(), seed),
             link_up: vec![true; ports],
-            credits: vec![cfg.cap_per_vc(); ports * cfg.vcs()],
+            credits: vec![cfg.cap_per_vc() as u16; ports * cfg.vcs()],
             inj_wait: vec![0; ports],
             geom,
             cfg,
