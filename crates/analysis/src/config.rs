@@ -58,6 +58,13 @@ pub struct Config {
     pub hot_path_files: Vec<String>,
     /// Function names rooting the probe-purity reachability walk.
     pub probe_roots: Vec<String>,
+    /// Function names rooting the telemetry-purity reachability walk
+    /// (the record hooks and the epoch snapshot).
+    pub telemetry_roots: Vec<String>,
+    /// Type names whose `&mut self` methods are exempt from
+    /// telemetry-purity: the collector mutates *itself* freely — the
+    /// rule polices mutation of everything else (the simulated state).
+    pub telemetry_types: Vec<String>,
 }
 
 /// Every rule id the analyzer knows, sorted. `pragma` is the meta-rule
@@ -68,6 +75,7 @@ pub const RULES: &[&str] = &[
     "pragma",
     "probe-purity",
     "rng-discipline",
+    "telemetry-purity",
     "unsafe-ban",
     "wall-clock-ban",
 ];
@@ -111,8 +119,20 @@ impl Config {
             // (`scale`, `Row::new`) alias engine-adjacent code.
             purity_scope: Scope::of(CRATE_SRC).without(&["crates/bench/"]),
             hot_path_files: [
-                "alloc", "engine", "flow", "inject", "order", "packet", "phase", "queues",
-                "router", "routing", "shard", "skip", "tables",
+                "alloc",
+                "engine",
+                "flow",
+                "inject",
+                "order",
+                "packet",
+                "phase",
+                "queues",
+                "router",
+                "routing",
+                "shard",
+                "skip",
+                "tables",
+                "telemetry",
             ]
             .iter()
             .map(|m| format!("crates/sim/src/{m}.rs"))
@@ -125,6 +145,16 @@ impl Config {
                 // filters whose reads must stay pure in probe context).
                 "is_awake".to_string(),
             ],
+            telemetry_roots: vec![
+                "trace_admit".to_string(),
+                "trace_route".to_string(),
+                "trace_grant".to_string(),
+                "trace_eject".to_string(),
+                "trace_retransmit".to_string(),
+                "prof_lap".to_string(),
+                "telemetry_snapshot_epoch".to_string(),
+            ],
+            telemetry_types: vec!["TelemetryCtl".to_string()],
         }
     }
 }

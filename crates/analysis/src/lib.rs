@@ -14,6 +14,10 @@
 //!   touches no `Cell`/`RefCell`/atomic writes.
 //! * **rng-discipline** — no `thread_rng`/`from_entropy`/OS entropy
 //!   anywhere; every RNG is built from an explicit seed.
+//! * **telemetry-purity** — everything reachable from the telemetry
+//!   record hooks (`trace_*`, `prof_lap`, the epoch snapshot) takes no
+//!   `&mut self` outside the collector types and draws no RNG, so
+//!   results stay bit-identical with telemetry on or off.
 //! * **ordered-iteration** — no `HashMap`/`HashSet` in modules feeding
 //!   `SimResult` or route tables; `BTreeMap` or an explicit sort.
 //! * **wall-clock-ban** — `Instant`/`SystemTime` only in the bench
@@ -165,6 +169,7 @@ pub fn analyze(root: &Path, cfg: &Config) -> Report {
     }
     let graph = CallGraph::build(&lexed, &graph_fns);
     rules::check_probe_purity(&graph, &lexed, &bodies, cfg, &mut report.violations);
+    rules::check_telemetry_purity(&graph, &lexed, &bodies, cfg, &mut report.violations);
 
     // Apply suppressions.
     let mut used = vec![false; report.pragmas.len()];

@@ -226,6 +226,71 @@ pub fn scan_file(
     }
 }
 
+/// Runs `telemetry-purity` over the call graph: everything reachable
+/// from the telemetry record hooks must observe, never perturb — no
+/// `&mut self` receiver outside the collector types themselves, and no
+/// RNG draw anywhere. A hook that mutated engine state or advanced an
+/// RNG stream would make results diverge with telemetry on vs off,
+/// breaking the zero-cost-when-off contract the parity tests pin.
+pub fn check_telemetry_purity(
+    graph: &CallGraph,
+    lexed: &std::collections::BTreeMap<String, Lexed>,
+    bodies: &std::collections::BTreeMap<(String, usize), (usize, usize)>,
+    cfg: &Config,
+    out: &mut Vec<Violation>,
+) {
+    let reachable = graph.reachable_from(&cfg.telemetry_roots);
+    for (key, chain) in &reachable {
+        let (qual, line, has_mut_self) = &graph.info[key];
+        let via = chain.join(" → ");
+        let collector_type = qual
+            .split("::")
+            .next()
+            .is_some_and(|t| cfg.telemetry_types.iter().any(|c| c == t));
+        if *has_mut_self && !collector_type {
+            out.push(Violation {
+                rule: "telemetry-purity",
+                file: key.0.clone(),
+                line: *line,
+                message: format!(
+                    "`{qual}` takes `&mut self` but is reachable from a telemetry record \
+                     hook (via {via}): telemetry must observe simulator state, never \
+                     mutate it — results are pinned bit-identical with telemetry on/off"
+                ),
+                suppressed: None,
+            });
+        }
+        let Some(body) = bodies.get(key) else {
+            continue;
+        };
+        let lx = &lexed[&key.0];
+        for i in body.0..body.1.min(lx.toks.len()) {
+            let TokKind::Ident(name) = &lx.toks[i].kind else {
+                continue;
+            };
+            let name_s = name.as_str();
+            let is_call = matches!(
+                lx.toks.get(i + 1).map(|t| &t.kind),
+                Some(TokKind::Punct('('))
+            );
+            let is_method = i >= 1 && matches!(lx.toks[i - 1].kind, TokKind::Punct('.'));
+            if is_call && is_method && RNG_DRAW_METHODS.contains(&name_s) {
+                out.push(Violation {
+                    rule: "telemetry-purity",
+                    file: key.0.clone(),
+                    line: lx.toks[i].line,
+                    message: format!(
+                        "`{qual}` draws RNG (`{name_s}`) but is reachable from a telemetry \
+                         record hook (via {via}): recording must not advance any RNG stream \
+                         the simulation reads"
+                    ),
+                    suppressed: None,
+                });
+            }
+        }
+    }
+}
+
 /// Runs `probe-purity` over the call graph: everything reachable from
 /// the probe roots must be free of `&mut self` receivers, RNG draws,
 /// interior mutability, and atomic writes.

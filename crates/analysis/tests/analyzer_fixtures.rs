@@ -29,6 +29,8 @@ fn fixture_config() -> Config {
         purity_scope: Scope::of(&[""]),
         hot_path_files: vec!["src/hot.rs".to_string()],
         probe_roots: vec!["route_probe".to_string()],
+        telemetry_roots: vec!["record_epoch".to_string()],
+        telemetry_types: vec!["TelemetrySink".to_string()],
     }
 }
 
@@ -63,10 +65,12 @@ fn fixture_diagnostics_are_exact() {
         ("rng-discipline", "src/pragmas.rs", 11, true),
         ("probe-purity", "src/probe.rs", 8, false),
         ("probe-purity", "src/probe.rs", 13, false),
+        ("telemetry-purity", "src/telemetry.rs", 26, false),
+        ("telemetry-purity", "src/telemetry.rs", 31, false),
     ];
     assert_eq!(got, want, "full report:\n{}", r.to_text());
-    assert_eq!(r.unsuppressed(), 15);
-    assert_eq!(r.files_scanned, 8);
+    assert_eq!(r.unsuppressed(), 17);
+    assert_eq!(r.files_scanned, 9);
 }
 
 #[test]
@@ -82,6 +86,14 @@ fn fixture_messages_name_the_cause() {
     // The probe-purity chain names the path from the root.
     assert!(msg("src/probe.rs", 8).contains("route_probe → Net::consume"));
     assert!(msg("src/probe.rs", 13).contains("gen_range"));
+    // The telemetry-purity chain names the hook; the collector's own
+    // `&mut self` (`TelemetrySink::record_epoch`) is exempt.
+    assert!(msg("src/telemetry.rs", 26).contains("TelemetrySink::record_epoch → EngineState::bump"));
+    assert!(msg("src/telemetry.rs", 31).contains("gen_range"));
+    assert!(!r
+        .violations
+        .iter()
+        .any(|v| v.file == "src/telemetry.rs" && v.line == 10));
     // The assert-masked `unwrap` in `masked()` (hot.rs:13) is exempt.
     assert!(!r
         .violations

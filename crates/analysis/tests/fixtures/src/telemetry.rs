@@ -1,0 +1,33 @@
+//! fixture: telemetry-purity — mutation and RNG reachable from a
+//! record hook. The collector (`TelemetrySink`) mutating itself is
+//! exempt; mutating the observed engine state or drawing RNG is not.
+
+pub struct TelemetrySink {
+    rows: Vec<u32>,
+}
+
+impl TelemetrySink {
+    fn record_epoch(&mut self, eng: &EngineState, rng: &mut SomeRng) {
+        self.rows.push(eng.peek());
+        eng.bump();
+        eng.wobble(rng);
+    }
+}
+
+pub struct EngineState {
+    counter: u32,
+}
+
+impl EngineState {
+    fn peek(&self) -> u32 {
+        self.counter
+    }
+
+    fn bump(&mut self) {
+        self.counter += 1;
+    }
+
+    fn wobble(&self, rng: &mut SomeRng) -> u32 {
+        rng.gen_range(0..4)
+    }
+}

@@ -12,7 +12,13 @@
 //!
 //! Sweep axes: workload family × message size × topology (PF q=31,
 //! p=16 vs SF q=23, p=18 — the paper's Table V pair) × routing (MIN vs
-//! UGAL-PF). `--smoke` (CI) restricts to ring + recursive-doubling
+//! UGAL-PF). `--telemetry-interval N` turns on the engine's epoch
+//! time-series (one `epoch` row per N cycles per run) and
+//! `--trace-sample N` its sampled packet traces (`trace` rows for every
+//! N-th packet by birth serial), both streamed through
+//! `pf_bench::telemetry` after each cell's data row; neither perturbs
+//! results (pinned by `crates/sim/tests/telemetry_parity.rs`).
+//! `--smoke` (CI) restricts to ring + recursive-doubling
 //! allreduce at one message size and runs every cell **twice**,
 //! verifying the makespan is seed-deterministic; it also replays an
 //! open-loop Bernoulli run twice through the workload-capable engine
@@ -141,7 +147,9 @@ fn open_loop_unperturbed(topo: &dyn Topology, cfg: &SimConfig) -> Vec<String> {
     let bitwise_equal = pa.offered_load.to_bits() == pb.offered_load.to_bits()
         && pa.accepted_load.to_bits() == pb.accepted_load.to_bits()
         && pa.avg_latency.to_bits() == pb.avg_latency.to_bits()
+        && pa.p50_latency.to_bits() == pb.p50_latency.to_bits()
         && pa.p99_latency.to_bits() == pb.p99_latency.to_bits()
+        && pa.p999_latency.to_bits() == pb.p999_latency.to_bits()
         && pa.avg_hops.to_bits() == pb.avg_hops.to_bits()
         && pa.generated == pb.generated
         && pa.delivered == pb.delivered
@@ -178,6 +186,18 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(1)
         .max(1);
+    // `--telemetry-interval N` / `--trace-sample N`: engine telemetry,
+    // off (0) unless requested.
+    let telemetry_interval: u32 = std::env::args()
+        .skip_while(|a| a != "--telemetry-interval")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let trace_sample: u32 = std::env::args()
+        .skip_while(|a| a != "--trace-sample")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
     let topos: Vec<Box<dyn Topology>> = vec![
         Box::new(PolarFlyTopo::new(31, 16).unwrap()),
         Box::new(SlimFly::new(23, 18).unwrap()),
@@ -192,11 +212,16 @@ fn main() {
     // wedged DAG. 4 VC classes suffice (healthy topology, ≤ 4 hops).
     let cfg = SimConfig::default()
         .workload_deadline(2_000_000)
-        .shards(shards);
+        .shards(shards)
+        .telemetry_interval(telemetry_interval)
+        .trace_sample(trace_sample);
 
     println!("Collective sweep — closed-loop workload completion, PF vs SF");
     if shards > 1 {
         println!("(sharded cycle engine: {shards} shards per run)");
+    }
+    if telemetry_interval > 0 || trace_sample > 0 {
+        println!("(telemetry: epoch interval {telemetry_interval}, trace sample 1/{trace_sample})");
     }
     println!("(every DAG must drain with conservation; smoke additionally checks");
     println!(" seed-determinism and the untouched open-loop path;");
@@ -272,6 +297,11 @@ fn main() {
                     .u64("longest_phase_cycles", u64::from(p.end - p.start));
             }
             row.emit();
+        }
+        // Telemetry rows ride behind the cell's data rows, keyed back
+        // to them by the same run label.
+        if let Some(report) = &result.telemetry {
+            pf_bench::telemetry::emit_report(&label, report);
         }
     }
 

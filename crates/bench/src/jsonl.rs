@@ -106,6 +106,21 @@ impl Row {
         self
     }
 
+    /// Adds an array-of-integers field (histograms, per-phase counters).
+    #[must_use]
+    pub fn u64_array(mut self, key: &str, vs: &[u64]) -> Row {
+        self.push_key(key);
+        self.buf.push('[');
+        for (i, v) in vs.iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            let _ = write!(self.buf, "{v}");
+        }
+        self.buf.push(']');
+        self
+    }
+
     /// Adds the shared [`SimResult`] fields every sweep reports:
     /// offered/accepted load, latency, delivery, saturation, and the
     /// fault counters.
@@ -114,7 +129,9 @@ impl Row {
         self.f64("offered", r.offered_load)
             .f64("accepted", r.accepted_load)
             .f64("avg_latency", r.avg_latency)
+            .f64("p50_latency", r.p50_latency)
             .f64("p99_latency", r.p99_latency)
+            .f64("p999_latency", r.p999_latency)
             .f64("avg_hops", r.avg_hops)
             .u64("generated", r.generated)
             .u64("delivered", r.delivered)
@@ -235,6 +252,9 @@ mod tests {
             "offered",
             "accepted",
             "avg_latency",
+            "p50_latency",
+            "p99_latency",
+            "p999_latency",
             "delivery",
             "saturated",
             "deadline_expired",

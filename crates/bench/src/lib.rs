@@ -15,6 +15,7 @@
 #![allow(clippy::print_stdout)]
 
 pub mod jsonl;
+pub mod telemetry;
 
 use pf_sim::engine::SimConfig;
 use pf_topo::{Dragonfly, FatTree, Jellyfish, PolarFlyTopo, SlimFly, Topology};

@@ -1,0 +1,190 @@
+//! JSONL emitters for the engine telemetry layer
+//! (`pf_sim::TelemetryReport`): epoch time-series rows, sampled packet
+//! trace rows, and the phase-profile summary.
+//!
+//! Row kinds (all carry a caller-supplied `run` label tying them back
+//! to their `collective`/`point` data row):
+//!
+//! * `epoch` — one row per [`EpochRecord`]: counter deltas over the
+//!   epoch plus boundary gauges (VOQ histogram as a JSON array).
+//! * `trace` — one row per [`TraceEvent`], capped at
+//!   [`TRACE_ROW_CAP`] rows per run so a 1/1-sampled saturation run
+//!   cannot flood the stream; the summary row carries the full counts,
+//!   so truncation is always visible, never silent.
+//! * `telemetry_summary` — totals (epochs/traces collected, dropped at
+//!   the engine caps, emitted here) and the per-phase wall-clock
+//!   nanoseconds keyed by [`PROF_PHASE_LABELS`] (all zeros unless the
+//!   workspace was built with `--features phase-profile`).
+
+use crate::jsonl::Row;
+use pf_sim::telemetry::{kind_label, PROF_PHASE_LABELS};
+use pf_sim::{EpochRecord, TelemetryReport, TraceEvent};
+
+/// Maximum `trace` rows emitted per run (the summary row reports how
+/// many events the cap cut).
+pub const TRACE_ROW_CAP: usize = 2048;
+
+/// Builds one `epoch` row.
+#[must_use]
+pub fn epoch_row(run: &str, e: &EpochRecord) -> Row {
+    let hist: Vec<u64> = e.voq_hist.iter().map(|&c| u64::from(c)).collect();
+    Row::new("epoch")
+        .str("run", run)
+        .u64("end_cycle", u64::from(e.end_cycle))
+        .u64("span", u64::from(e.span))
+        .u64("generated", e.generated)
+        .u64("delivered", e.delivered)
+        .u64("flits_ejected", e.flits_ejected)
+        .u64("link_flits", e.link_flits)
+        .u64("active_links", u64::from(e.active_links))
+        .u64("max_link_flits", e.max_link_flits)
+        .u64_array("voq_hist", &hist)
+        .u64("credit_stalls", e.credit_stalls)
+        .u64("vc_stalls", e.vc_stalls)
+        .u64("retransmitted", e.retransmitted)
+        .u64("dropped_flits", e.dropped_flits)
+        .u64("awake_routers", u64::from(e.awake_routers))
+        .u64("dozing_routers", u64::from(e.dozing_routers))
+        .u64("asleep_routers", u64::from(e.asleep_routers))
+        .u64("in_flight_flits", e.in_flight_flits)
+        .u64("source_backlog", e.source_backlog)
+}
+
+/// Builds one `trace` row.
+#[must_use]
+pub fn trace_row(run: &str, t: &TraceEvent) -> Row {
+    Row::new("trace")
+        .str("run", run)
+        .u64("serial", t.serial)
+        .u64("cycle", u64::from(t.cycle))
+        .str("event", kind_label(t.kind))
+        .u64("router", u64::from(t.router))
+        .u64("a", u64::from(t.a))
+        .u64("b", u64::from(t.b))
+}
+
+/// Builds the `telemetry_summary` row (totals + phase profile).
+#[must_use]
+pub fn summary_row(run: &str, r: &TelemetryReport, trace_rows_emitted: usize) -> Row {
+    let mut row = Row::new("telemetry_summary")
+        .str("run", run)
+        .u64("epochs", r.epochs.len() as u64)
+        .u64("epochs_dropped", r.epochs_dropped)
+        .u64("traces", r.traces.len() as u64)
+        .u64("trace_rows_emitted", trace_rows_emitted as u64)
+        .u64("traces_dropped", r.traces_dropped);
+    for (label, ns) in PROF_PHASE_LABELS.iter().zip(r.phase_ns) {
+        row = row.u64(&format!("{label}_ns"), ns);
+    }
+    row
+}
+
+/// Renders a full report as JSONL lines: every epoch, up to
+/// [`TRACE_ROW_CAP`] traces, then the summary row (always last, so a
+/// reader can reconcile the emitted rows against the totals).
+pub fn report_lines(run: &str, r: &TelemetryReport) -> Vec<String> {
+    let mut out = Vec::with_capacity(r.epochs.len() + r.traces.len().min(TRACE_ROW_CAP) + 1);
+    for e in &r.epochs {
+        out.push(epoch_row(run, e).finish());
+    }
+    let emitted = r.traces.len().min(TRACE_ROW_CAP);
+    for t in &r.traces[..emitted] {
+        out.push(trace_row(run, t).finish());
+    }
+    out.push(summary_row(run, r, emitted).finish());
+    out
+}
+
+/// Prints a full report to stdout (the sweep binaries' emit path).
+pub fn emit_report(run: &str, r: &TelemetryReport) {
+    for line in report_lines(run, r) {
+        println!("{line}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> TelemetryReport {
+        TelemetryReport {
+            epochs: vec![EpochRecord {
+                end_cycle: 256,
+                span: 256,
+                generated: 10,
+                delivered: 8,
+                flits_ejected: 32,
+                link_flits: 120,
+                active_links: 14,
+                max_link_flits: 30,
+                voq_hist: [3, 1, 0, 0, 0, 0, 0, 0],
+                credit_stalls: 2,
+                vc_stalls: 1,
+                retransmitted: 0,
+                dropped_flits: 0,
+                awake_routers: 5,
+                dozing_routers: 2,
+                asleep_routers: 0,
+                in_flight_flits: 9,
+                source_backlog: 4,
+            }],
+            epochs_dropped: 0,
+            traces: (0..3)
+                .map(|i| TraceEvent {
+                    serial: 8,
+                    cycle: 10 + i,
+                    kind: pf_sim::telemetry::TRACE_GRANT,
+                    router: 2,
+                    a: 7,
+                    b: u32::from(i as u16),
+                })
+                .collect(),
+            traces_dropped: 5,
+            phase_ns: [1, 2, 3, 4, 5],
+        }
+    }
+
+    #[test]
+    fn report_lines_cover_epochs_traces_and_summary() {
+        let lines = report_lines("pf-min", &sample_report());
+        assert_eq!(lines.len(), 1 + 3 + 1);
+        assert!(lines[0].starts_with(r#"{"kind":"epoch","run":"pf-min""#));
+        assert!(lines[0].contains(r#""voq_hist":[3,1,0,0,0,0,0,0]"#));
+        assert!(lines[1].contains(r#""event":"grant""#));
+        let summary = lines.last().unwrap();
+        assert!(summary.contains(r#""traces":3"#));
+        assert!(summary.contains(r#""trace_rows_emitted":3"#));
+        assert!(summary.contains(r#""traces_dropped":5"#));
+        // Every phase label lands in the summary with its counter.
+        for (label, ns) in PROF_PHASE_LABELS.iter().zip([1u64, 2, 3, 4, 5]) {
+            assert!(
+                summary.contains(&format!(r#""{label}_ns":{ns}"#)),
+                "{summary}"
+            );
+        }
+    }
+
+    #[test]
+    fn trace_rows_are_capped_with_visible_totals() {
+        let mut r = sample_report();
+        r.traces = (0..TRACE_ROW_CAP as u32 + 10)
+            .map(|i| TraceEvent {
+                serial: 0,
+                cycle: i,
+                kind: pf_sim::telemetry::TRACE_INJECT,
+                router: 0,
+                a: 1,
+                b: 0,
+            })
+            .collect();
+        let lines = report_lines("x", &r);
+        let trace_rows = lines
+            .iter()
+            .filter(|l| l.starts_with(r#"{"kind":"trace""#))
+            .count();
+        assert_eq!(trace_rows, TRACE_ROW_CAP);
+        let summary = lines.last().unwrap();
+        assert!(summary.contains(&format!(r#""traces":{}"#, TRACE_ROW_CAP + 10)));
+        assert!(summary.contains(&format!(r#""trace_rows_emitted":{TRACE_ROW_CAP}"#)));
+    }
+}

@@ -225,6 +225,29 @@ impl Engine<'_> {
                 vc: ovc,
                 term_next: self.port_owner[out_port as usize] == dst,
             };
+            if self.telemetry.tracing() {
+                // `passed_mid` was updated by `transit_target` above, so
+                // this detour check is the packet's *remaining* leg —
+                // identical in serial and sharded commit order.
+                let p = pkt as usize;
+                let detour = self.packets.mid[p] != NONE32 && !self.packets.passed_mid[p];
+                let source = if self.packets.frr_pinned[p] {
+                    crate::telemetry::ROUTE_FRR
+                } else if detour {
+                    crate::telemetry::ROUTE_DETOUR
+                } else {
+                    crate::telemetry::ROUTE_MIN
+                };
+                let out_buf = out_port as usize * self.vcs + ovc as usize;
+                self.telemetry.trace_route(
+                    pkt,
+                    r as u32,
+                    out_port,
+                    out_buf as u32,
+                    source,
+                    self.cycle,
+                );
+            }
         }
         let re = self.route[qidx];
         let out_port = re.port;
@@ -500,6 +523,29 @@ impl Engine<'_> {
                     term_next,
                 };
                 let out_idx = out_port as usize * self.vcs + ovc as usize;
+                if self.telemetry.tracing() {
+                    // Mirrors the serial hook in `try_request_queue`:
+                    // `set_passed_mid`/`set_pin` were applied above, so
+                    // the flags read identically to the serial pass.
+                    let p = pkt as usize;
+                    let detour = self.packets.mid[p] != NONE32 && !self.packets.passed_mid[p];
+                    let source = if self.packets.frr_pinned[p] {
+                        crate::telemetry::ROUTE_FRR
+                    } else if detour {
+                        crate::telemetry::ROUTE_DETOUR
+                    } else {
+                        crate::telemetry::ROUTE_MIN
+                    };
+                    let router = self.port_owner[qidx as usize / self.vcs];
+                    self.telemetry.trace_route(
+                        pkt,
+                        router,
+                        out_port,
+                        out_idx as u32,
+                        source,
+                        self.cycle,
+                    );
+                }
                 if self.credits[out_idx] == 0 {
                     self.diag_credit_stalls += 1;
                     return;
@@ -618,6 +664,14 @@ impl Engine<'_> {
                     ReqSrc::Inject { router, .. } => router,
                 };
                 rt.note_traversal(src_router, self.port_owner[out_port]);
+            }
+            if self.telemetry.tracing() {
+                let src_router = match req.src {
+                    ReqSrc::Transit { queue } => self.port_owner[queue as usize / self.vcs],
+                    ReqSrc::Inject { router, .. } => router,
+                };
+                self.telemetry
+                    .trace_grant(req.pkt, src_router, out_port as u32, req.seq, cycle);
             }
             self.out_taken[out_port] = true;
             self.link_flits[out_port] += 1;

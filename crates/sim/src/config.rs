@@ -100,6 +100,21 @@ pub struct SimConfig {
     /// environment variable to `0` to force the dense schedule (CI runs
     /// the full test suite both ways).
     pub skip: bool,
+    /// Epoch length (cycles) of the observation-only telemetry
+    /// time-series (see [`crate::telemetry`]): every `telemetry_interval`
+    /// cycles the engine snapshots its counters into an
+    /// [`crate::telemetry::EpochRecord`] on
+    /// [`crate::SimResult::telemetry`]. `0` (the default) disables the
+    /// time-series entirely — zero cost, and every simulated field is
+    /// bit-identical either way (pinned by `tests/telemetry_parity.rs`).
+    pub telemetry_interval: u32,
+    /// Packet-lifecycle trace sampling rate (see [`crate::telemetry`]):
+    /// every `trace_sample`-th packet *by birth serial* (a deterministic
+    /// modulus — no RNG) records hop-by-hop
+    /// [`crate::telemetry::TraceEvent`]s. `0` (the default) disables
+    /// tracing; like the epoch series it is observation-only and
+    /// parity-pinned.
+    pub trace_sample: u32,
 }
 
 impl Default for SimConfig {
@@ -128,6 +143,8 @@ impl Default for SimConfig {
                 .filter(|&k: &usize| k >= 1)
                 .unwrap_or(1),
             skip: std::env::var("PF_SIM_SKIP").map_or(true, |s| s != "0"),
+            telemetry_interval: 0,
+            trace_sample: 0,
         }
     }
 }
@@ -191,6 +208,10 @@ impl SimConfig {
         shards: usize,
         /// Enables/disables event-driven cycle skipping.
         skip: bool,
+        /// Sets the telemetry epoch length (cycles; 0 = off).
+        telemetry_interval: u32,
+        /// Sets the packet-trace sampling rate (1/N packets; 0 = off).
+        trace_sample: u32,
     }
 
     /// Total virtual channels per port.

@@ -24,6 +24,7 @@ use crate::routing::{MinHop, RoutingAlgorithm};
 use crate::skip::SkipCtl;
 use crate::stats::{LatencyStats, SimResult};
 use crate::tables::RouteTables;
+use crate::telemetry::{prof_mark, ProfPhase, TelemetryCtl};
 use crate::traffic::DestMap;
 use crate::Routing;
 use pf_graph::Csr;
@@ -259,6 +260,13 @@ pub struct Engine<'a> {
     /// deadlock-freedom argument was abandoned for some packet — the
     /// transient-fault tests and sweeps assert this stays 0.
     pub diag_class_clamps: u64,
+    /// Observation-only telemetry collector ([`crate::telemetry`]);
+    /// fully inert when both `SimConfig::telemetry_interval` and
+    /// `SimConfig::trace_sample` are 0.
+    pub(crate) telemetry: TelemetryCtl,
+    /// Flits ejected over the whole run (epoch time-series deltas;
+    /// `window_flits_ejected` counts only the measurement window).
+    pub(crate) total_flits_ejected: u64,
 }
 
 impl<'a> Engine<'a> {
@@ -463,6 +471,8 @@ impl<'a> Engine<'a> {
             diag_credit_stalls: 0,
             diag_match_losses: 0,
             diag_class_clamps: 0,
+            telemetry: TelemetryCtl::new(cfg.telemetry_interval, cfg.trace_sample),
+            total_flits_ejected: 0,
             cfg,
         }
     }
@@ -481,11 +491,14 @@ impl<'a> Engine<'a> {
         jobs: Vec<crate::stats::JobResult>,
     ) -> SimResult {
         let mut stats = std::mem::take(&mut self.stats);
+        let telemetry = self.telemetry_finish();
         SimResult {
             offered_load,
             accepted_load,
             avg_latency: stats.mean(),
+            p50_latency: stats.percentile(0.5),
             p99_latency: stats.percentile(0.99),
+            p999_latency: stats.percentile(0.999),
             avg_hops: stats.mean_hops(),
             generated: self.measured_generated,
             delivered: self.measured_delivered,
@@ -506,6 +519,7 @@ impl<'a> Engine<'a> {
                 .shard_rt
                 .as_ref()
                 .map_or(0, |rt| rt.master_barrier_wait_ns),
+            telemetry,
         }
     }
 
@@ -629,6 +643,11 @@ impl<'a> Engine<'a> {
             && self.pipeline.in_flight() == 0
         {
             self.maybe_leap();
+            // Epoch boundaries leapt over are recorded here, before the
+            // landing cycle executes — with the counters frozen across
+            // the leap, which is exactly what a dense walk of the
+            // provably idle span would have recorded at each boundary.
+            self.telemetry_tick();
             self.skip.wheel_wake(self.cycle);
         }
     }
@@ -680,7 +699,12 @@ impl<'a> Engine<'a> {
 
     /// The serial per-cycle schedule (`SimConfig::shards` = 1).
     fn step_serial(&mut self) {
+        // Epoch telemetry snapshots run before anything this cycle does
+        // (same point in both schedules, dense or skipping).
+        self.telemetry_tick();
+        let mark = prof_mark();
         self.skip_prologue();
+        self.telemetry.prof_lap(ProfPhase::SkipLeap, mark);
         let cycle = self.cycle;
         if self.transient {
             // 0. Fault events scheduled for this cycle (mask flips,
@@ -695,11 +719,13 @@ impl<'a> Engine<'a> {
         // 2. Packet generation: closed-loop task-DAG releases when a
         //    workload is attached, the open-loop Bernoulli process
         //    otherwise (identical to the pre-workload engine).
+        let mark = prof_mark();
         if self.workload.is_some() {
             self.workload_release(cycle);
         } else if cycle < self.cfg.gen_cutoff {
             self.generate(cycle);
         }
+        self.telemetry.prof_lap(ProfPhase::Generate, mark);
         // Generation was the last phase that can wake a router, so the
         // awake list built here covers everything the remaining phases
         // must scan.
@@ -708,7 +734,9 @@ impl<'a> Engine<'a> {
         }
         // 3. Ejection (before switch allocation: ejection drains
         //    unconditionally, which the VC ordering relies on).
+        let mark = prof_mark();
         self.eject(cycle);
+        self.telemetry.prof_lap(ProfPhase::Eject, mark);
         // 4. Injection starts.
         self.start_injections();
 
@@ -717,6 +745,7 @@ impl<'a> Engine<'a> {
         //    a round can be rematched within the cycle.
         self.reset_inj_budgets();
         for it in 0..self.cfg.alloc_iters.max(1) {
+            let mark = prof_mark();
             if it == 0 || !self.skip.enabled {
                 self.build_requests(cycle);
             } else {
@@ -725,7 +754,10 @@ impl<'a> Engine<'a> {
                 // `build_requests_again`).
                 self.build_requests_again(cycle);
             }
+            self.telemetry.prof_lap(ProfPhase::Route, mark);
+            let mark = prof_mark();
             self.grant_and_accept(cycle, None);
+            self.telemetry.prof_lap(ProfPhase::Alloc, mark);
         }
 
         self.cycle += 1;
@@ -749,7 +781,10 @@ impl<'a> Engine<'a> {
             self.step_serial();
             return;
         };
+        self.telemetry_tick();
+        let mark = prof_mark();
         self.skip_prologue();
+        self.telemetry.prof_lap(ProfPhase::SkipLeap, mark);
         let cycle = self.cycle;
         if self.transient {
             self.apply_fault_events(cycle);
@@ -760,26 +795,34 @@ impl<'a> Engine<'a> {
 
         self.apply_arrivals(cycle);
 
+        let mark = prof_mark();
         if self.workload.is_some() {
             self.workload_release(cycle);
         } else if cycle < self.cfg.gen_cutoff {
             self.generate(cycle);
         }
+        self.telemetry.prof_lap(ProfPhase::Generate, mark);
         if self.skip.enabled {
             self.skip.build_awake_list(self.n);
         }
 
+        let mark = prof_mark();
         rt.probe(self, cycle, ProbePhase::Eject);
         self.commit_ejects(&mut rt, cycle);
+        self.telemetry.prof_lap(ProfPhase::Eject, mark);
 
         self.start_injections();
 
         self.reset_inj_budgets();
         for _ in 0..self.cfg.alloc_iters.max(1) {
+            let mark = prof_mark();
             rt.probe(self, cycle, ProbePhase::Transit);
             self.commit_transit_requests(&mut rt, cycle);
             self.build_inject_requests(cycle);
+            self.telemetry.prof_lap(ProfPhase::Route, mark);
+            let mark = prof_mark();
             self.grant_and_accept(cycle, Some(&mut rt));
+            self.telemetry.prof_lap(ProfPhase::Alloc, mark);
         }
 
         rt.end_cycle();

@@ -647,6 +647,9 @@ impl Engine<'_> {
             if self.skip.enabled {
                 self.skip.wake_now(src as usize);
             }
+            if self.telemetry.tracing() {
+                self.telemetry.trace_retransmit(pkt, src, self.cycle);
+            }
         }
         self.faults.retransmitted_packets += victims.len() as u64;
     }

@@ -54,6 +54,13 @@ impl Engine<'_> {
             NONE32
         };
         let id = self.packets.alloc(r, dst, cycle, measured, min_first_link);
+        if self.telemetry.tracing() {
+            // The birth serial (pre-increment `total_generated`) keys
+            // the deterministic trace sampler: pool ids are recycled,
+            // serials never are.
+            self.telemetry
+                .trace_admit(id, self.total_generated, r, dst, cycle);
+        }
         self.src_q.push(r as usize, id);
         if self.skip.enabled {
             // A queued packet makes the router interesting to every
@@ -188,6 +195,7 @@ impl Engine<'_> {
             }
             self.credits[qidx] += 1;
             self.port_used[port as usize] = true;
+            self.total_flits_ejected += 1;
             if in_window {
                 self.window_flits_ejected += 1;
             }
@@ -206,6 +214,10 @@ impl Engine<'_> {
                     // Arrival VC class h−1 ⇒ the packet took h hops.
                     let hops = (vc / self.per_class) as u32 + 1;
                     self.stats.record(latency, hops);
+                }
+                if self.telemetry.tracing() {
+                    let latency = cycle - self.packets.birth[pkt as usize] + 1;
+                    self.telemetry.trace_eject(pkt, r as u32, latency, cycle);
                 }
                 self.packets.release(pkt);
             }
@@ -319,6 +331,7 @@ impl Engine<'_> {
                 }
                 self.credits[q] += 1;
                 self.port_used[port] = true;
+                self.total_flits_ejected += 1;
                 if in_window {
                     self.window_flits_ejected += 1;
                 }
@@ -332,6 +345,11 @@ impl Engine<'_> {
                         let latency = cycle - self.packets.birth[a.pkt as usize] + 1;
                         let hops = (vc / self.per_class) as u32 + 1;
                         self.stats.record(latency, hops);
+                    }
+                    if self.telemetry.tracing() {
+                        let latency = cycle - self.packets.birth[a.pkt as usize] + 1;
+                        self.telemetry
+                            .trace_eject(a.pkt, port_owner[port], latency, cycle);
                     }
                     self.packets.release(a.pkt);
                 }
@@ -426,6 +444,15 @@ impl Engine<'_> {
             }
             let term = self.port_owner[out_port as usize] == dst;
             self.inj.push(ru, pkt_id, out_idx as u32, term);
+            if self.telemetry.tracing() {
+                let source = if mid != NONE32 {
+                    crate::telemetry::ROUTE_INJECT_DETOUR
+                } else {
+                    crate::telemetry::ROUTE_INJECT_MIN
+                };
+                self.telemetry
+                    .trace_route(pkt_id, r, out_port, out_idx as u32, source, self.cycle);
+            }
             started.push(idx);
         }
         self.src_q.remove_front(ru, &started, window);

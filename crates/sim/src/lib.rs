@@ -55,6 +55,9 @@
 //! * [`routing`] — the pluggable [`RoutingAlgorithm`] trait and the
 //!   paper's six algorithms (§VII), with PolarFly's O(1) algebraic
 //!   minimal next hop as a table-free fast path;
+//! * [`telemetry`] — observation-only epoch time-series, sampled
+//!   packet lifecycle traces, and feature-gated engine phase profiling
+//!   (bit-identical results with telemetry on or off);
 //! * [`config`], [`stats`], [`sweep`], [`tables`], [`traffic`],
 //!   [`analytic`] — configuration, results, load sweeps, route tables,
 //!   traffic patterns, and the fluid-model cross-check.
@@ -92,6 +95,7 @@ pub(crate) mod skip;
 pub mod stats;
 pub mod sweep;
 pub mod tables;
+pub mod telemetry;
 pub mod traffic;
 
 pub use analytic::{analyze, FluidAnalysis};
@@ -104,6 +108,7 @@ pub use routing::{HopContext, MinHop, NetState, Port, RoutePlan, RoutingAlgorith
 pub use stats::{JobResult, PhaseResult, ShardObs, SimResult};
 pub use sweep::{load_curve, load_grid, LoadCurve};
 pub use tables::RouteTables;
+pub use telemetry::{EpochRecord, ProfPhase, TelemetryReport, TraceEvent};
 pub use traffic::TrafficPattern;
 
 use pf_topo::Topology;

@@ -11,8 +11,14 @@ pub struct SimResult {
     /// Mean generation-to-tail-ejection latency (cycles) over measured
     /// packets that were delivered.
     pub avg_latency: f64,
+    /// Median latency (cycles) of delivered measured packets.
+    pub p50_latency: f64,
     /// 99th-percentile latency (cycles) of delivered measured packets.
     pub p99_latency: f64,
+    /// 99.9th-percentile latency (cycles) of delivered measured packets.
+    /// Exact only once enough packets drained (`n ≥ 1000`); below that
+    /// the nearest-rank definition reports the maximum.
+    pub p999_latency: f64,
     /// Mean hop count of delivered measured packets.
     pub avg_hops: f64,
     /// Measured packets generated in the measurement window.
@@ -70,6 +76,13 @@ pub struct SimResult {
     /// comparisons. Lives here rather than on a [`ShardObs`] row because
     /// the wait belongs to the master, not to any shard's workers.
     pub master_barrier_wait_ns: u64,
+    /// Telemetry collected during the run (`None` unless
+    /// `SimConfig::telemetry_interval` or `SimConfig::trace_sample` is
+    /// set). Pure execution observability — excluded from parity
+    /// comparisons like `shards` and `master_barrier_wait_ns`; every
+    /// other field is bit-identical with telemetry on or off (pinned by
+    /// the telemetry parity tests).
+    pub telemetry: Option<Box<crate::telemetry::TelemetryReport>>,
 }
 
 /// Execution observability of one engine shard (see `DESIGN.md`,
@@ -187,7 +200,15 @@ impl LatencyStats {
             return 0.0;
         }
         let n = self.samples.len();
-        let rank = (pct * n as f64).ceil() as usize;
+        if n == 1 {
+            // Every percentile of a single sample is that sample; the
+            // early return also skips the select entirely.
+            return f64::from(self.samples[0]);
+        }
+        let rank_f = (pct * n as f64).ceil();
+        // NaN would cast to 0 and silently clamp to the *minimum*; the
+        // conservative degradation for a meaningless pct is the max.
+        let rank = if rank_f.is_nan() { n } else { rank_f as usize };
         let idx = rank.clamp(1, n) - 1;
         let (_, v, _) = self.samples.select_nth_unstable(idx);
         f64::from(*v)
@@ -278,5 +299,34 @@ mod tests {
         assert_eq!(s.percentile(0.0), 10.0);
         assert_eq!(s.percentile(1.0), 30.0);
         assert_eq!(s.percentile(2.0), 30.0);
+        // A NaN pct degrades to the maximum (the conservative bound),
+        // not the minimum a raw `NaN as usize` cast would pick.
+        assert_eq!(s.percentile(f64::NAN), 30.0);
+        let mut one = stats_of(&[42]);
+        assert_eq!(one.percentile(f64::NAN), 42.0);
+    }
+
+    #[test]
+    fn percentile_p50_p999_tiny_samples() {
+        // 0 samples: all percentiles are 0.
+        let mut s = LatencyStats::default();
+        assert_eq!(s.percentile(0.999), 0.0);
+        // 1 sample: all percentiles are the sample.
+        let mut s = stats_of(&[7]);
+        assert_eq!(s.percentile(0.5), 7.0);
+        assert_eq!(s.percentile(0.999), 7.0);
+        // 2 samples: p50 rank = ceil(1.0) = 1 (the smaller); p999 rank
+        // = ceil(1.998) = 2 (the max).
+        let mut s = stats_of(&[20, 10]);
+        assert_eq!(s.percentile(0.5), 10.0);
+        assert_eq!(s.percentile(0.999), 20.0);
+        // Below 1000 samples p999 is pinned to the max; at exactly
+        // n = 1000 the rank drops to 999 for the first time.
+        let mut s = stats_of(&(1..=999).collect::<Vec<u32>>());
+        assert_eq!(s.percentile(0.999), 999.0);
+        let mut s = stats_of(&(1..=1000).collect::<Vec<u32>>());
+        assert_eq!(s.percentile(0.999), 999.0);
+        let mut s = stats_of(&(1..=1001).collect::<Vec<u32>>());
+        assert_eq!(s.percentile(0.999), 1000.0);
     }
 }

@@ -1,0 +1,268 @@
+//! The telemetry layer's zero-perturbation contract, pinned.
+//!
+//! Turning on epoch time-series and packet tracing must change *no*
+//! semantic field of [`SimResult`] — down to the bit, across serial and
+//! sharded execution and dense and skip schedules. The collected data
+//! itself must also be execution-mode independent: serial and sharded
+//! runs produce identical epoch records and identical trace streams
+//! (the skip schedule may only change the awake/dozing/asleep router
+//! census, which reflects the scheduler, not the traffic). See
+//! `DESIGN.md`, "Telemetry and tracing".
+
+use pf_sim::traffic::TrafficPattern;
+use pf_sim::{load_curve, EpochRecord, Routing, SimConfig, SimResult};
+use pf_topo::{PolarFlyTopo, Topology};
+
+/// Asserts every semantic field of two results is bit-identical.
+/// Execution observability — `skipped_router_cycles`, `shards`,
+/// `master_barrier_wait_ns`, and `telemetry` itself — is excluded.
+fn assert_bit_identical(a: &SimResult, b: &SimResult, label: &str) {
+    assert_eq!(
+        a.offered_load.to_bits(),
+        b.offered_load.to_bits(),
+        "{label}: offered_load"
+    );
+    assert_eq!(
+        a.accepted_load.to_bits(),
+        b.accepted_load.to_bits(),
+        "{label}: accepted_load"
+    );
+    assert_eq!(
+        a.avg_latency.to_bits(),
+        b.avg_latency.to_bits(),
+        "{label}: avg_latency"
+    );
+    assert_eq!(
+        a.p50_latency.to_bits(),
+        b.p50_latency.to_bits(),
+        "{label}: p50_latency"
+    );
+    assert_eq!(
+        a.p99_latency.to_bits(),
+        b.p99_latency.to_bits(),
+        "{label}: p99_latency"
+    );
+    assert_eq!(
+        a.p999_latency.to_bits(),
+        b.p999_latency.to_bits(),
+        "{label}: p999_latency"
+    );
+    assert_eq!(
+        a.avg_hops.to_bits(),
+        b.avg_hops.to_bits(),
+        "{label}: avg_hops"
+    );
+    assert_eq!(a.generated, b.generated, "{label}: generated");
+    assert_eq!(a.delivered, b.delivered, "{label}: delivered");
+    assert_eq!(a.saturated, b.saturated, "{label}: saturated");
+    assert_eq!(
+        a.deadline_expired, b.deadline_expired,
+        "{label}: deadline_expired"
+    );
+    assert_eq!(a.dropped_flits, b.dropped_flits, "{label}: dropped_flits");
+    assert_eq!(
+        a.retransmitted_packets, b.retransmitted_packets,
+        "{label}: retransmitted_packets"
+    );
+    assert_eq!(a.table_swaps, b.table_swaps, "{label}: table_swaps");
+    assert_eq!(
+        a.down_link_flits, b.down_link_flits,
+        "{label}: down_link_flits"
+    );
+    assert_eq!(
+        a.vc_class_clamps, b.vc_class_clamps,
+        "{label}: vc_class_clamps"
+    );
+    assert_eq!(a.jobs.len(), b.jobs.len(), "{label}: job count");
+}
+
+/// An epoch record with the skip-census gauges zeroed — the one group
+/// that legitimately differs between dense and skip schedules.
+fn without_census(e: &EpochRecord) -> EpochRecord {
+    EpochRecord {
+        awake_routers: 0,
+        dozing_routers: 0,
+        asleep_routers: 0,
+        ..e.clone()
+    }
+}
+
+fn run(
+    topo: &PolarFlyTopo,
+    load: f64,
+    cfg: &SimConfig,
+    shards: usize,
+    skip: bool,
+    telemetry: bool,
+) -> SimResult {
+    let mut c = cfg.clone().shards(shards).skip(skip);
+    if telemetry {
+        c = c.telemetry_interval(64).trace_sample(8);
+    }
+    let curve = load_curve(topo, Routing::UgalPf, TrafficPattern::Uniform, &[load], &c);
+    curve.points.into_iter().next().unwrap()
+}
+
+/// The full matrix at PF(7): telemetry on/off × serial/4-shard ×
+/// dense/skip, every cell bit-identical to the dense-serial
+/// telemetry-off baseline; the collected epochs and traces are
+/// identical across execution modes.
+#[test]
+fn telemetry_parity_q7() {
+    let topo = PolarFlyTopo::new(7, 4).unwrap();
+    let cfg = SimConfig::quick().seed(3);
+    let base = run(&topo, 0.3, &cfg, 1, false, false);
+    assert!(base.delivered > 0, "vacuous baseline");
+    assert!(base.telemetry.is_none(), "telemetry off must report None");
+
+    let mut reports = Vec::new();
+    for (shards, skip) in [(1, false), (1, true), (4, false), (4, true)] {
+        let off = run(&topo, 0.3, &cfg, shards, skip, false);
+        let on = run(&topo, 0.3, &cfg, shards, skip, true);
+        let label = format!("q7 K={shards} skip={skip}");
+        assert_bit_identical(&base, &off, &format!("{label} telemetry=off"));
+        assert_bit_identical(&base, &on, &format!("{label} telemetry=on"));
+        let t = on.telemetry.expect("telemetry on must report Some");
+        assert!(!t.epochs.is_empty(), "{label}: no epochs");
+        assert!(!t.traces.is_empty(), "{label}: no traces");
+        assert!(
+            t.traces.iter().all(|e| e.serial % 8 == 0),
+            "{label}: sampler leaked an off-modulus serial"
+        );
+        reports.push((label, skip, t));
+    }
+
+    // Serial and sharded runs of the same schedule collect *identical*
+    // telemetry — records and traces, byte for byte.
+    let by = |shards_skip: usize| &reports[shards_skip].2;
+    assert_eq!(by(0).epochs, by(2).epochs, "epochs serial vs sharded");
+    assert_eq!(by(0).traces, by(2).traces, "traces serial vs sharded");
+    assert_eq!(
+        by(1).epochs,
+        by(3).epochs,
+        "epochs serial vs sharded (skip)"
+    );
+    assert_eq!(
+        by(1).traces,
+        by(3).traces,
+        "traces serial vs sharded (skip)"
+    );
+    // Dense vs skip: identical traces; identical epochs up to the
+    // awake/dozing/asleep census (dense reports every router awake).
+    assert_eq!(by(0).traces, by(1).traces, "traces dense vs skip");
+    let dense: Vec<EpochRecord> = by(0).epochs.iter().map(without_census).collect();
+    let skipped: Vec<EpochRecord> = by(1).epochs.iter().map(without_census).collect();
+    assert_eq!(dense, skipped, "epochs dense vs skip (census excluded)");
+    assert!(
+        by(0).epochs.iter().all(|e| e.dozing_routers == 0
+            && e.asleep_routers == 0
+            && e.awake_routers == topo.router_count() as u32),
+        "dense census must report every router awake"
+    );
+}
+
+/// Reduced matrix at the paper's PF(31) scale — the full-size index
+/// space is where a telemetry hook reading a stale counter would hide.
+#[test]
+fn telemetry_parity_q31() {
+    let topo = PolarFlyTopo::new(31, 16).unwrap();
+    let cfg = SimConfig::default()
+        .warmup(60)
+        .measure(100)
+        .drain_max(500)
+        .seed(9);
+    let base = run(&topo, 0.25, &cfg, 1, false, false);
+    assert!(base.delivered > 0, "vacuous baseline");
+    let serial_on = run(&topo, 0.25, &cfg, 1, false, true);
+    let sharded_skip_on = run(&topo, 0.25, &cfg, 4, true, true);
+    assert_bit_identical(&base, &serial_on, "q31 serial telemetry=on");
+    assert_bit_identical(&base, &sharded_skip_on, "q31 K=4 skip telemetry=on");
+    let a = serial_on.telemetry.unwrap();
+    let b = sharded_skip_on.telemetry.unwrap();
+    assert!(!a.epochs.is_empty() && !a.traces.is_empty());
+    assert_eq!(
+        a.traces, b.traces,
+        "q31 traces serial-dense vs sharded-skip"
+    );
+    let an: Vec<EpochRecord> = a.epochs.iter().map(without_census).collect();
+    let bn: Vec<EpochRecord> = b.epochs.iter().map(without_census).collect();
+    assert_eq!(an, bn, "q31 epochs serial-dense vs sharded-skip");
+}
+
+/// Golden epoch pins on a seeded, fully drained run: the time-series
+/// must account for every packet and flit of the run (conservation),
+/// cover the timeline exactly once, and replay byte-identically.
+#[test]
+fn epoch_records_conserve_and_replay() {
+    let topo = PolarFlyTopo::new(7, 4).unwrap();
+    let cfg = SimConfig::default()
+        .warmup(100)
+        .measure(200)
+        .drain_max(2000)
+        .gen_cutoff(300)
+        .seed(41)
+        .shards(1)
+        .skip(false)
+        .telemetry_interval(64)
+        .trace_sample(4);
+    let curve = |c: &SimConfig| {
+        load_curve(&topo, Routing::Min, TrafficPattern::Uniform, &[0.3], c)
+            .points
+            .into_iter()
+            .next()
+            .unwrap()
+    };
+    let r = curve(&cfg);
+    let t = r.telemetry.as_ref().unwrap();
+    assert_eq!(t.epochs_dropped, 0);
+    assert_eq!(t.traces_dropped, 0);
+
+    // Timeline coverage: contiguous epochs, every span the configured
+    // interval except a final partial one.
+    let mut expected_start = 0u32;
+    for (i, e) in t.epochs.iter().enumerate() {
+        assert_eq!(e.end_cycle - e.span, expected_start, "epoch {i} gap");
+        expected_start = e.end_cycle;
+        if i + 1 < t.epochs.len() {
+            assert_eq!(e.span, 64, "epoch {i} span");
+        }
+    }
+
+    // Conservation over a drained run (generation stops at the cutoff,
+    // the run ends when the network empties): every admitted packet
+    // delivered, every delivered packet's flits ejected.
+    let gen: u64 = t.epochs.iter().map(|e| e.generated).sum();
+    let del: u64 = t.epochs.iter().map(|e| e.delivered).sum();
+    let ej: u64 = t.epochs.iter().map(|e| e.flits_ejected).sum();
+    assert!(gen > 0, "vacuous run");
+    assert_eq!(gen, del, "drained run must deliver every packet");
+    assert_eq!(ej, del * 4, "4 flits per packet must all eject");
+    let last = t.epochs.last().unwrap();
+    assert_eq!(last.in_flight_flits, 0, "drained run ended with flits");
+    assert_eq!(last.source_backlog, 0, "drained run ended with backlog");
+
+    // Sampled lifecycles are well-formed: every traced packet's event
+    // stream starts with its inject and ends with its eject.
+    use pf_sim::telemetry::{TRACE_EJECT, TRACE_INJECT};
+    use std::collections::BTreeMap;
+    let mut by_serial: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+    for ev in &t.traces {
+        assert_eq!(ev.serial % 4, 0, "off-modulus serial traced");
+        by_serial.entry(ev.serial).or_default().push(ev.kind);
+    }
+    assert!(!by_serial.is_empty());
+    for (serial, kinds) in &by_serial {
+        assert_eq!(kinds[0], TRACE_INJECT, "serial {serial}: first event");
+        assert_eq!(
+            *kinds.last().unwrap(),
+            TRACE_EJECT,
+            "serial {serial}: last event (drained run)"
+        );
+    }
+
+    // Byte-identical replay: the full report, not just the results.
+    let r2 = curve(&cfg);
+    let t2 = r2.telemetry.as_ref().unwrap();
+    assert_eq!(t.epochs, t2.epochs, "epoch replay");
+    assert_eq!(t.traces, t2.traces, "trace replay");
+}
